@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench cover experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Reproduce every figure/table of the paper (≈10-15 min single-core).
+experiments:
+	$(GO) run ./cmd/mobisink -fig all -trials 50 -csv results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/specialcase
+	$(GO) run ./examples/fairness
+	$(GO) run ./examples/energyplanning
+	$(GO) run ./examples/curvedroad
+	$(GO) run ./examples/trafficload
+	$(GO) run ./examples/highway
+
+clean:
+	rm -f test_output.txt bench_output.txt

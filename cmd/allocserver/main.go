@@ -1,0 +1,38 @@
+// Command allocserver exposes the slot allocator as a small JSON-over-HTTP
+// service, so non-Go planners (e.g. the vehicle's onboard computer) can
+// request tour schedules.
+//
+//	POST /v1/allocate   {"deployment": {...}, "speed": 5, "slot_len": 1,
+//	                     "algorithm": "offline_appro", "fixed_power": 0,
+//	                     "data_caps": [...]}
+//	  → {"algorithm": ..., "data_mb": ..., "slot_owner": [...], ...}
+//	GET  /v1/healthz    → ok
+//
+// The server is stateless; every request carries its full topology.
+//
+//	allocserver -addr :8080
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"mobisink/internal/srv"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	mux := srv.NewMux()
+	s := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      120 * time.Second,
+	}
+	log.Printf("allocserver listening on %s", *addr)
+	log.Fatal(s.ListenAndServe())
+}

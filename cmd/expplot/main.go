@@ -1,0 +1,100 @@
+// Command expplot renders result CSVs written by `mobisink -csv` back into
+// per-setting tables and ASCII charts, so saved experiment data can be
+// inspected without re-running the sweep.
+//
+// Usage:
+//
+//	expplot results/fig2.csv
+//	expplot -setting "rs=5m/s,tau=1s" results/fig3.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"mobisink/internal/exp"
+	"mobisink/internal/stats"
+)
+
+func main() {
+	setting := flag.String("setting", "", "only render this setting")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatalf("usage: expplot [-setting S] <results.csv>")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	tbl, err := parse(f, *setting)
+	if err != nil {
+		fatalf("parse %s: %v", flag.Arg(0), err)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		fatalf("render: %v", err)
+	}
+}
+
+// parse reads a mobisink results CSV back into an exp.Table.
+func parse(r io.Reader, onlySetting string) (*exp.Table, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("no data rows")
+	}
+	col := map[string]int{}
+	for i, name := range rows[0] {
+		col[name] = i
+	}
+	for _, need := range []string{"figure", "setting", "n", "algorithm",
+		"throughput_mb_mean", "throughput_mb_stddev", "throughput_mb_ci95", "trials"} {
+		if _, ok := col[need]; !ok {
+			return nil, fmt.Errorf("missing column %q", need)
+		}
+	}
+	tbl := &exp.Table{Name: rows[1][col["figure"]], Description: "replotted from " + flag.Arg(0)}
+	for ln, row := range rows[1:] {
+		if onlySetting != "" && row[col["setting"]] != onlySetting {
+			continue
+		}
+		n, err := strconv.Atoi(row[col["n"]])
+		if err != nil {
+			return nil, fmt.Errorf("row %d: bad n: %v", ln+2, err)
+		}
+		mean, err := strconv.ParseFloat(row[col["throughput_mb_mean"]], 64)
+		if err != nil {
+			return nil, fmt.Errorf("row %d: bad mean: %v", ln+2, err)
+		}
+		sd, _ := strconv.ParseFloat(row[col["throughput_mb_stddev"]], 64)
+		ci, _ := strconv.ParseFloat(row[col["throughput_mb_ci95"]], 64)
+		trials, _ := strconv.Atoi(row[col["trials"]])
+		var frac float64
+		if fi, ok := col["fraction_of_upper_bound"]; ok {
+			frac, _ = strconv.ParseFloat(row[fi], 64)
+		}
+		tbl.Points = append(tbl.Points, exp.Point{
+			Setting:   row[col["setting"]],
+			N:         n,
+			Algorithm: row[col["algorithm"]],
+			Mb:        stats.Summary{N: trials, Mean: mean, StdDev: sd, CI95: ci},
+			FracUB:    frac,
+		})
+	}
+	if len(tbl.Points) == 0 {
+		return nil, fmt.Errorf("no rows matched")
+	}
+	return tbl, nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "expplot: "+format+"\n", args...)
+	os.Exit(1)
+}

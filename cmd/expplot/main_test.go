@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `figure,setting,n,algorithm,throughput_mb_mean,throughput_mb_stddev,throughput_mb_ci95,trials,fraction_of_upper_bound
+fig2,"rs=5m/s,tau=1s",100,Offline_Appro,30.5920,5.1744,1.4343,50,0.9258
+fig2,"rs=5m/s,tau=1s",100,Online_Appro,28.8445,5.0923,1.4115,50,0.8722
+fig2,"rs=10m/s,tau=2s",100,Offline_Appro,14.7846,2.6446,0.7330,50,0.8975
+`
+
+func TestParse(t *testing.T) {
+	tbl, err := parse(strings.NewReader(sampleCSV), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name != "fig2" || len(tbl.Points) != 3 {
+		t.Fatalf("parsed %q with %d points", tbl.Name, len(tbl.Points))
+	}
+	p := tbl.Points[0]
+	if p.Setting != "rs=5m/s,tau=1s" || p.N != 100 || p.Algorithm != "Offline_Appro" {
+		t.Errorf("point = %+v", p)
+	}
+	if p.Mb.Mean != 30.592 || p.Mb.N != 50 {
+		t.Errorf("summary = %+v", p.Mb)
+	}
+	if p.FracUB != 0.9258 {
+		t.Errorf("fraction = %v", p.FracUB)
+	}
+}
+
+func TestParseSettingFilter(t *testing.T) {
+	tbl, err := parse(strings.NewReader(sampleCSV), "rs=10m/s,tau=2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Points) != 1 || tbl.Points[0].Setting != "rs=10m/s,tau=2s" {
+		t.Fatalf("filter failed: %+v", tbl.Points)
+	}
+	if _, err := parse(strings.NewReader(sampleCSV), "nope"); err == nil {
+		t.Error("expected no-rows error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                      // empty
+		"figure,setting\nf,s\n", // missing columns
+		"figure,setting,n,algorithm,throughput_mb_mean,throughput_mb_stddev,throughput_mb_ci95,trials\nf,s,notanumber,a,1,1,1,1\n", // bad n
+	}
+	for i, src := range cases {
+		if _, err := parse(strings.NewReader(src), ""); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

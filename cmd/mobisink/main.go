@@ -1,0 +1,130 @@
+// Command mobisink reproduces the paper's evaluation figures.
+//
+// Usage:
+//
+//	mobisink -fig 2            # reproduce Figure 2 (50 trials/point)
+//	mobisink -fig all -trials 10 -csv results/
+//	mobisink -fig 4a -sizes 100,300,600 -seed 7
+//
+// Output is a per-setting throughput table and ASCII chart on stdout; with
+// -csv DIR each figure is also written to DIR/<fig>.csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"mobisink/internal/energy"
+	"mobisink/internal/exp"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "figure to reproduce: 2, 3, 4a, 4b, msgs, gap, accrual, contention, latency, or all")
+		trials    = flag.Int("trials", 50, "random topologies per data point")
+		sizesFlag = flag.String("sizes", "", "comma-separated network sizes (default 100..600)")
+		seed      = flag.Int64("seed", 1, "base RNG seed")
+		csvDir    = flag.String("csv", "", "directory to write per-figure CSV files")
+		condition = flag.String("condition", "sunny", "solar condition: sunny or cloudy")
+		jitter    = flag.Float64("jitter", 0.5, "per-sensor budget jitter in [0,1)")
+		panel     = flag.Float64("panel", 0, "solar panel area in mm² (default: paper 10×10)")
+		workers   = flag.Int("workers", 0, "parallel trial workers (default GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{
+		Trials:       *trials,
+		Seed:         *seed,
+		Jitter:       *jitter,
+		Workers:      *workers,
+		PanelAreaMM2: *panel,
+	}
+	switch *condition {
+	case "sunny":
+		cfg.Condition = energy.Sunny
+	case "cloudy":
+		cfg.Condition = energy.PartlyCloudy
+	default:
+		fatalf("unknown condition %q (want sunny or cloudy)", *condition)
+	}
+	if *sizesFlag != "" {
+		for _, tok := range strings.Split(*sizesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n <= 0 {
+				fatalf("bad size %q", tok)
+			}
+			cfg.Sizes = append(cfg.Sizes, n)
+		}
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = []string{"2", "3", "4a", "4b", "msgs", "gap"}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		start := time.Now()
+		var tbl renderable
+		var err error
+		switch id {
+		case "msgs":
+			tbl, err = exp.Messages(cfg)
+		case "gap":
+			tbl, err = exp.OptimalityGap(cfg)
+		case "accrual":
+			tbl, err = exp.AccrualSensitivity(cfg)
+		case "contention":
+			tbl, err = exp.Contention(cfg)
+		case "latency":
+			tbl, err = exp.Latency(cfg)
+		default:
+			run, ok := exp.Figures[id]
+			if !ok {
+				fatalf("unknown figure %q (want 2, 3, 4a, 4b, msgs, gap, accrual, contention, latency, all)", id)
+			}
+			tbl, err = run(cfg)
+		}
+		if err != nil {
+			fatalf("figure %s: %v", id, err)
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			fatalf("render: %v", err)
+		}
+		fmt.Printf("\n[fig %s done in %.1fs]\n\n", id, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatalf("mkdir %s: %v", *csvDir, err)
+			}
+			path := filepath.Join(*csvDir, "fig"+id+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fatalf("create %s: %v", path, err)
+			}
+			if err := tbl.WriteCSV(f); err != nil {
+				fatalf("write %s: %v", path, err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("close %s: %v", path, err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}
+
+// renderable is the common surface of all experiment tables.
+type renderable interface {
+	Render(io.Writer) error
+	WriteCSV(io.Writer) error
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mobisink: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,24 @@
+// Package mobisink reproduces "Use of a Mobile Sink for Maximizing Data
+// Collection in Energy Harvesting Sensor Networks" (Ren, Liang, Xu;
+// ICPP 2013): a mobile sink travels a fixed path collecting data from
+// one-hop, solar-powered sensors, and time slots must be allocated to
+// sensors — one sensor per slot, each within its harvested energy budget —
+// to maximize the data collected per tour.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core    — the problem definition and offline algorithms
+//     (Offline_Appro, Offline_MaxMatch, bounds);
+//   - internal/online  — the distributed protocol (Algorithm 2) and the
+//     Online_Appro / Online_MaxMatch schedulers;
+//   - internal/gap, internal/knapsack, internal/matching — the
+//     combinatorial engines;
+//   - internal/geom, internal/radio, internal/energy, internal/network —
+//     the simulation substrates;
+//   - internal/exp — reproduction of every figure in the paper's
+//     evaluation (run via cmd/mobisink).
+//
+// The benchmarks in bench_test.go time one representative cell of each
+// figure plus ablations of the design choices; see DESIGN.md and
+// EXPERIMENTS.md.
+package mobisink

@@ -1,0 +1,91 @@
+// Curvedroad: the paper assumes a straight pre-defined path "for the sake
+// of discussion" and notes the extension to real road shapes is easy. This
+// example runs the same algorithms on an L-shaped mountain road described
+// by waypoints and shows the one genuinely new effect: near a bend, a
+// sensor can hear the sink on *both* legs, so its visibility window (the
+// hull of the in-range arc lengths) stretches far beyond the straight-road
+// 2R/(r_s·τ) width.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mobisink/internal/core"
+	"mobisink/internal/energy"
+	"mobisink/internal/geom"
+	"mobisink/internal/network"
+	"mobisink/internal/online"
+	"mobisink/internal/radio"
+)
+
+func main() {
+	const (
+		n     = 150
+		speed = 5.0
+		tau   = 1.0
+		seed  = 21
+	)
+	// A switchback road: two 4 km legs joined by a hairpin.
+	waypoints := []geom.Point{
+		{X: 0, Y: 0}, {X: 4000, Y: 0}, {X: 4200, Y: 150}, {X: 200, Y: 300},
+	}
+	curved, err := network.GenerateAlong(waypoints, n, 150, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	straight, err := network.Generate(network.Params{
+		N: n, PathLength: curved.PathLength, MaxOffset: 150, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sun := energy.PaperSolar(energy.Sunny)
+	for _, dep := range []*network.Deployment{curved, straight} {
+		rng := rand.New(rand.NewSource(seed))
+		if err := dep.AssignSteadyStateBudgets(sun, 3*dep.PathLength/speed, 0.5, rng); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("road      sensors  T(slots)  max|A(v)|  offline(Mb)  online(Mb)")
+	for _, c := range []struct {
+		name string
+		dep  *network.Deployment
+	}{
+		{"switchback", curved},
+		{"straight", straight},
+	} {
+		inst, err := core.BuildInstance(c.dep, radio.Paper2013(), speed, tau)
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxWin := 0
+		for i := range inst.Sensors {
+			if w := inst.Sensors[i].WindowSize(); w > maxWin {
+				maxWin = w
+			}
+		}
+		off, err := core.OfflineAppro(inst, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		on, err := online.Run(inst, &online.Appro{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := on.CheckLemma1(); err != nil {
+			// On a hairpin the sink can re-enter a sensor's range in
+			// non-consecutive intervals — Lemma 1's straight-road proof
+			// doesn't apply. Report rather than fail.
+			fmt.Printf("  note: %v (expected on hairpin roads)\n", err)
+		}
+		fmt.Printf("%-10s %7d %9d %10d %12.2f %11.2f\n",
+			c.name, n, inst.T, maxWin, core.ThroughputMb(off.Data), core.ThroughputMb(on.Data))
+	}
+	fmt.Println("\non the switchback, hairpin-adjacent sensors see the sink on both legs:")
+	fmt.Println("their windows (hull of in-range arc) far exceed the straight-road width,")
+	fmt.Println("and Lemma 1's two-consecutive-intervals property no longer holds — the")
+	fmt.Println("framework still runs, it just probes such sensors more than twice.")
+}

@@ -1,0 +1,69 @@
+// Fairness: throughput-optimal scheduling starves far-off sensors. The
+// related work the paper builds on (its refs. [14][16]) optimizes
+// lexicographic max-min fairness instead; this example runs both objectives
+// on the same instances and prints the trade-off: total throughput, Jain's
+// fairness index, sensors served, and the worst-off sensor's share.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mobisink/internal/core"
+	"mobisink/internal/energy"
+	"mobisink/internal/fair"
+	"mobisink/internal/network"
+	"mobisink/internal/radio"
+)
+
+func main() {
+	const (
+		speed = 5.0
+		tau   = 1.0
+	)
+	sun := energy.PaperSolar(energy.Sunny)
+	fmt.Println("   n  objective        total(Mb)   Jain  served/eligible   min-share(kb)")
+	for _, n := range []int{100, 300, 600} {
+		seed := int64(n)
+		dep, err := network.Generate(network.PaperParams(n, seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		if err := dep.AssignSteadyStateBudgets(sun, 3*10000/speed, 0.5, rng); err != nil {
+			log.Fatal(err)
+		}
+		inst, err := core.BuildInstance(dep, radio.Paper2013(), speed, tau)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		thr, err := core.OfflineAppro(inst, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		wf, err := fair.WaterFill(inst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range []struct {
+			name  string
+			alloc *core.Allocation
+		}{
+			{"throughput", thr},
+			{"max-min fair", wf},
+		} {
+			if _, err := inst.Validate(c.alloc); err != nil {
+				log.Fatalf("%s: %v", c.name, err)
+			}
+			st := fair.Coverage(inst, c.alloc)
+			fmt.Printf("%4d  %-14s %10.2f  %5.3f  %7d/%-8d %14.1f\n",
+				n, c.name, core.ThroughputMb(c.alloc.Data), st.Jain,
+				st.Served, st.Eligible, fair.MinData(inst, c.alloc)/1e3)
+		}
+	}
+	fmt.Println("\nthe fairness objective roughly doubles Jain's index and serves far more")
+	fmt.Println("sensors, at a substantial cost in total collected data — the tension the")
+	fmt.Println("paper resolves in favor of total volume for surveillance workloads.")
+}

@@ -1,0 +1,94 @@
+// Trafficload: the paper assumes every sensor "has stored enough sensing
+// data" — an unbounded data queue. This example generates the actual
+// surveillance workload (vehicles detected on the highway, with rush-hour
+// peaks) and compares collection with and without the finite-data
+// extension across a day of hourly patrols: at night there is little to
+// report and the unbounded model wildly overstates the collectable volume.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mobisink/internal/core"
+	"mobisink/internal/energy"
+	"mobisink/internal/network"
+	"mobisink/internal/online"
+	"mobisink/internal/radio"
+	"mobisink/internal/traffic"
+)
+
+func main() {
+	const (
+		n     = 200
+		speed = 5.0
+		tau   = 1.0
+		seed  = 31
+	)
+	dep, err := network.Generate(network.PaperParams(n, seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sun := energy.PaperSolar(energy.Sunny)
+	rng := rand.New(rand.NewSource(seed))
+	if err := dep.AssignSteadyStateBudgets(sun, 3*10000/speed, 0.5, rng); err != nil {
+		log.Fatal(err)
+	}
+
+	tp := traffic.Params{
+		ArrivalRate:      0.15, // ≈ 540 veh/h at peak
+		MeanSpeed:        27,
+		SpeedStdDev:      5,
+		DetectRange:      120,
+		BitsPerDetection: 6e3, // detection record + thumbnail
+		RateProfile:      traffic.RushHour(),
+		Seed:             seed,
+	}
+
+	fmt.Println("hour  vehicles  available(Mb)  collected(Mb)  unbounded-model(Mb)")
+	// Both runs use the same Sequential scheduler; only the data caps differ.
+	var dayCapped, dayFree float64
+	for hour := 0; hour < 24; hour++ {
+		t0 := float64(hour) * 3600
+		caps, err := traffic.Load(dep, tp, t0, t0+3600)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vehicles, err := traffic.Stream(tp, t0, t0+3600)
+		if err != nil {
+			log.Fatal(err)
+		}
+		avail := 0.0
+		for _, c := range caps {
+			avail += c
+		}
+
+		inst, err := core.BuildInstance(dep, radio.Paper2013(), speed, tau)
+		if err != nil {
+			log.Fatal(err)
+		}
+		free, err := online.Run(inst, &online.Sequential{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := inst.SetDataCaps(caps); err != nil {
+			log.Fatal(err)
+		}
+		capped, err := online.Run(inst, &online.Sequential{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dayCapped += capped.Data
+		dayFree += free.Data
+		fmt.Printf("%4d  %8d  %13.2f  %13.2f  %19.2f\n",
+			hour, len(vehicles), core.ThroughputMb(avail),
+			core.ThroughputMb(capped.Data), core.ThroughputMb(free.Data))
+	}
+	fmt.Printf("\nday total: %.1f Mb with real workloads vs %.1f Mb under the paper's\n",
+		core.ThroughputMb(dayCapped), core.ThroughputMb(dayFree))
+	fmt.Println("unbounded-data model. Two effects are visible: collection now follows the")
+	fmt.Println("traffic intensity (rush-hour peaks, quiet nights), and the finite queues")
+	fmt.Println("even *help* the sequential scheduler by throttling greedy early sensors —")
+	fmt.Println("slots they would otherwise hog flow to later sensors with fresh data.")
+}

@@ -1,0 +1,97 @@
+// Widearea: the paper's design is strictly one-hop — sensors farther than
+// the 200 m radio range never deliver anything. This example deploys a
+// wide monitoring field (offsets up to 500 m), gives every sensor a day of
+// queued surveillance data, and compares the paper's one-hop collection
+// with the subsink relay architecture of the related work (Gao et al.):
+// out-of-range sensors forward their backlog to the nearest in-range
+// sensor, paying per-bit relay energy on both ends.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mobisink/internal/core"
+	"mobisink/internal/energy"
+	"mobisink/internal/network"
+	"mobisink/internal/online"
+	"mobisink/internal/radio"
+	"mobisink/internal/relay"
+)
+
+func main() {
+	const (
+		n     = 200
+		speed = 5.0
+		seed  = 17
+	)
+	dep, err := network.Generate(network.Params{
+		N: n, PathLength: 5000, MaxOffset: 500, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sun := energy.PaperSolar(energy.Sunny)
+	rng := rand.New(rand.NewSource(seed))
+	if err := dep.AssignSteadyStateBudgets(sun, 3*5000/speed, 0.5, rng); err != nil {
+		log.Fatal(err)
+	}
+	caps := make([]float64, n)
+	for i := range caps {
+		caps[i] = 500e3 // 0.5 Mb of queued observations each
+	}
+
+	// The paper's one-hop system.
+	inst, err := core.BuildInstance(dep, radio.Paper2013(), speed, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := inst.SetDataCaps(caps); err != nil {
+		log.Fatal(err)
+	}
+	oneHop, err := online.Run(inst, &online.Sequential{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reach := 0
+	for i := range inst.Sensors {
+		if inst.Sensors[i].Start >= 0 {
+			reach++
+		}
+	}
+
+	// Relay-enabled collection.
+	p := relay.DefaultParams()
+	asg, err := relay.Assign(dep, radio.Paper2013(), p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	relayDep, relayCaps, err := relay.Apply(dep, asg, caps, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	instR, err := core.BuildInstance(relayDep, radio.Paper2013(), speed, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := instR.SetDataCaps(relayCaps); err != nil {
+		log.Fatal(err)
+	}
+	relayed, err := online.Run(instR, &online.Sequential{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("field: %d sensors over 5 km × ±500 m, radio range 200 m\n\n", n)
+	fmt.Printf("%-22s %18s %14s\n", "architecture", "sensors reachable", "collected(Mb)")
+	fmt.Printf("%-22s %11d/%d %17.2f\n", "one-hop (paper)", reach, n, core.ThroughputMb(oneHop.Data))
+	fmt.Printf("%-22s %11d/%d %17.2f\n", "subsink relay [Gao]", asg.Covered, n, core.ThroughputMb(relayed.Data))
+	fmt.Printf("\n%d sensors have no subsink within %g m and stay dark either way.\n",
+		asg.Unreachable, p.Range)
+	fmt.Println("relaying raises *coverage* ~1.5x, but total volume stays flat: the road's")
+	fmt.Println("slot capacity — not data availability — binds, and subsinks burn receive")
+	fmt.Println("energy on top. Relaying buys whose data is heard, not more of it — the")
+	fmt.Println("bandwidth/energy bottleneck the paper's intro cites when arguing for")
+	fmt.Println("mobile sinks over fixed-sink multi-hop collection.")
+}

@@ -1,0 +1,128 @@
+package mobisink_test
+
+// Fuzz targets for the parsing and combinatorial layers. `go test` runs the
+// seed corpus as regular tests; `go test -fuzz=FuzzX` explores further.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mobisink/internal/energy"
+	"mobisink/internal/geom"
+	"mobisink/internal/knapsack"
+)
+
+// FuzzReadTraceCSV: the trace parser must never panic and any accepted
+// trace must satisfy the Harvester contract on a few probes.
+func FuzzReadTraceCSV(f *testing.F) {
+	f.Add("0,0.001\n100,0.002\n", 0.0)
+	f.Add("time,power\n0,1\n1,2\n2,0\n", 2.0)
+	f.Add("# comment\n5,0\n", 0.0)
+	f.Add("", 0.0)
+	f.Add("a,b\nc,d\n", 0.0)
+	f.Add("0,0.001,extra\n", 100.0)
+	f.Add("0,-1\n", 0.0)
+	f.Fuzz(func(t *testing.T, csv string, period float64) {
+		if math.IsNaN(period) || math.IsInf(period, 0) {
+			return
+		}
+		tr, err := energy.ReadTraceCSV(strings.NewReader(csv), period)
+		if err != nil {
+			return
+		}
+		for _, at := range []float64{-10, 0, 50, 1e6} {
+			p := tr.Power(at)
+			if p < 0 || math.IsNaN(p) {
+				t.Fatalf("Power(%v) = %v", at, p)
+			}
+		}
+		if e := tr.EnergyBetween(0, 100); e < 0 || math.IsNaN(e) {
+			t.Fatalf("EnergyBetween = %v", e)
+		}
+		if tr.EnergyBetween(50, 10) != 0 {
+			t.Fatal("reversed interval must be 0")
+		}
+	})
+}
+
+// FuzzKnapsackSolvers: on random instances, all solvers must return
+// feasible packings and respect the exactness/approximation hierarchy.
+func FuzzKnapsackSolvers(f *testing.F) {
+	f.Add(uint8(3), uint16(100), uint16(50))
+	f.Add(uint8(8), uint16(1), uint16(1000))
+	f.Fuzz(func(t *testing.T, nRaw uint8, capRaw, scale uint16) {
+		n := int(nRaw%10) + 1
+		capacity := float64(capRaw) / 10
+		items := make([]knapsack.Item, n)
+		x := uint32(scale) + 1
+		next := func() float64 { // cheap deterministic generator
+			x = x*1664525 + 1013904223
+			return float64(x%1000) / 10
+		}
+		for i := range items {
+			items[i] = knapsack.Item{Profit: next(), Weight: next() / 2}
+		}
+		exactBB := knapsack.BranchAndBound(items, capacity)
+		exactDP := knapsack.DP(items, capacity, 0.1)
+		greedy := knapsack.Greedy(items, capacity)
+		fptas := knapsack.FPTAS(0.2)(items, capacity)
+		for name, s := range map[string]knapsack.Solution{
+			"bb": exactBB, "dp": exactDP, "greedy": greedy, "fptas": fptas,
+		} {
+			w := 0.0
+			for _, k := range s.Picked {
+				if k < 0 || k >= n {
+					t.Fatalf("%s: index out of range", name)
+				}
+				w += items[k].Weight
+			}
+			if w > capacity+1e-9 {
+				t.Fatalf("%s: infeasible", name)
+			}
+		}
+		// Weights here are exact multiples of 0.05 so the 0.1-quantum DP can
+		// differ from BB only through conservative rounding; it must never
+		// exceed BB.
+		if exactDP.Profit > exactBB.Profit+1e-9 {
+			t.Fatalf("dp %v above exact bb %v", exactDP.Profit, exactBB.Profit)
+		}
+		if greedy.Profit < exactBB.Profit/2-1e-9 {
+			t.Fatalf("greedy %v below half of %v", greedy.Profit, exactBB.Profit)
+		}
+		if fptas.Profit < 0.8*exactBB.Profit-1e-9 {
+			t.Fatalf("fptas %v below (1-eps)·%v", fptas.Profit, exactBB.Profit)
+		}
+	})
+}
+
+// FuzzLineCover: CoverInterval's reported range must contain only in-range
+// points and the window derived from it must be consistent.
+func FuzzLineCover(f *testing.F) {
+	f.Add(500.0, 30.0, 50.0)
+	f.Add(0.0, 0.0, 1.0)
+	f.Add(-100.0, 200.0, 150.0)
+	f.Fuzz(func(t *testing.T, x, y, r float64) {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(r) ||
+			math.IsInf(x, 0) || math.IsInf(y, 0) || math.IsInf(r, 0) || r <= 0 || r > 1e6 {
+			return
+		}
+		if math.Abs(x) > 1e6 || math.Abs(y) > 1e6 {
+			return
+		}
+		l := geom.HighwayLine(1000)
+		p := geom.Point{X: x, Y: y}
+		s0, s1, ok := l.CoverInterval(p, r)
+		if !ok {
+			return
+		}
+		if s0 < 0 || s1 > 1000 || s0 > s1 {
+			t.Fatalf("invalid interval [%v, %v]", s0, s1)
+		}
+		for _, s := range []float64{s0, (s0 + s1) / 2, s1} {
+			if d := l.At(s).Dist(p); d > r*(1+1e-9)+1e-6 {
+				t.Fatalf("s=%v at distance %v > %v", s, d, r)
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module mobisink
+
+go 1.22

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// UpperBound returns an upper bound on the optimal collected data (bits),
+// the minimum of two relaxations:
+//
+//  1. slot relaxation — drop the energy budgets: each slot contributes the
+//     best rate any sensor offers in it;
+//  2. energy relaxation — drop slot exclusivity: each sensor solves its own
+//     fractional knapsack over its window.
+//
+// OPT never exceeds either, so reported ratios alg/UpperBound are
+// conservative fraction-of-optimum figures.
+func (inst *Instance) UpperBound() float64 {
+	return math.Min(inst.slotBound(), inst.energyBound())
+}
+
+func (inst *Instance) slotBound() float64 {
+	best := make([]float64, inst.T)
+	for i := range inst.Sensors {
+		s := &inst.Sensors[i]
+		for j := s.Start; s.Start >= 0 && j <= s.End; j++ {
+			if r := s.RateAt(j); r > best[j] {
+				best[j] = r
+			}
+		}
+	}
+	total := 0.0
+	for _, r := range best {
+		total += r * inst.Tau
+	}
+	return total
+}
+
+func (inst *Instance) energyBound() float64 {
+	total := 0.0
+	for i := range inst.Sensors {
+		total += inst.fractionalKnapsack(i)
+	}
+	return total
+}
+
+// fractionalKnapsack returns the LP-relaxed best data volume sensor i could
+// upload alone: fill slots in decreasing rate/power density until the
+// budget is exhausted, taking a fractional final slot.
+func (inst *Instance) fractionalKnapsack(i int) float64 {
+	s := &inst.Sensors[i]
+	if s.Start < 0 {
+		return 0
+	}
+	type slot struct{ profit, weight float64 }
+	slots := make([]slot, 0, s.WindowSize())
+	for j := s.Start; j <= s.End; j++ {
+		r, p := s.RateAt(j), s.PowerAt(j)
+		if r <= 0 || p <= 0 {
+			continue
+		}
+		slots = append(slots, slot{r * inst.Tau, p * inst.Tau})
+	}
+	sort.Slice(slots, func(a, b int) bool {
+		return slots[a].profit*slots[b].weight > slots[b].profit*slots[a].weight
+	})
+	left := s.Budget
+	total := 0.0
+	for _, sl := range slots {
+		if sl.weight <= left {
+			total += sl.profit
+			left -= sl.weight
+		} else {
+			total += sl.profit * left / sl.weight
+			break
+		}
+	}
+	return total
+}

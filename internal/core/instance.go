@@ -1,0 +1,205 @@
+// Package core implements the paper's data collection maximization problem:
+// given one tour of a path-constrained mobile sink over T time slots,
+// allocate slots to sensors — at most one sensor per slot, each sensor
+// within its per-tour energy budget — to maximize the data collected under
+// distance-dependent multi-rate transmission (paper §II.D).
+//
+// The package defines the problem Instance, feasibility validation, and the
+// offline algorithms: OfflineAppro (the local-ratio GAP approximation,
+// paper §IV) and OfflineMaxMatch (the exact matching-based solution of the
+// fixed-transmission-power special case, paper §VI), plus upper bounds for
+// fraction-of-optimum reporting.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mobisink/internal/geom"
+	"mobisink/internal/network"
+	"mobisink/internal/radio"
+)
+
+// SensorSlots is a sensor together with its visibility window A(v) and
+// per-slot link parameters for the current tour.
+type SensorSlots struct {
+	ID     int // dense sensor index
+	Pos    geom.Point
+	Budget float64 // P(v), Joules available this tour
+	// Start and End delimit A(v) as an inclusive 0-based slot range;
+	// Start == -1 means the sensor never hears the sink.
+	Start, End int
+	// Rates[k] and Powers[k] are r_{i,j} (bit/s) and P_{i,j} (W) for slot
+	// j = Start+k.
+	Rates  []float64
+	Powers []float64
+}
+
+// WindowSize returns |A(v)|.
+func (s *SensorSlots) WindowSize() int {
+	if s.Start < 0 {
+		return 0
+	}
+	return s.End - s.Start + 1
+}
+
+// RateAt returns r_{i,j} for absolute slot j, or 0 if j ∉ A(v).
+func (s *SensorSlots) RateAt(j int) float64 {
+	if s.Start < 0 || j < s.Start || j > s.End {
+		return 0
+	}
+	return s.Rates[j-s.Start]
+}
+
+// PowerAt returns P_{i,j} for absolute slot j, or 0 if j ∉ A(v).
+func (s *SensorSlots) PowerAt(j int) float64 {
+	if s.Start < 0 || j < s.Start || j > s.End {
+		return 0
+	}
+	return s.Powers[j-s.Start]
+}
+
+// Instance is one tour's slot-allocation problem.
+type Instance struct {
+	T       int     // slots per tour
+	Tau     float64 // τ, seconds per slot
+	Gamma   int     // Γ = ⌊R/(r_s·τ)⌋, slots per online interval
+	Range   float64 // R, maximum transmission range
+	Sensors []SensorSlots
+	Traj    *geom.Trajectory
+	// DataCaps, when non-nil, bounds each sensor's total upload in bits
+	// (finite data queues); nil means the paper's unbounded-data model.
+	// Set via SetDataCaps.
+	DataCaps []float64
+}
+
+// BuildInstance derives the slot-allocation problem for one tour of the
+// deployment with the given radio model and sink kinematics.
+func BuildInstance(dep *network.Deployment, model radio.Model, sinkSpeed, slotLen float64) (*Instance, error) {
+	if dep == nil {
+		return nil, errors.New("core: nil deployment")
+	}
+	if err := dep.Validate(); err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, errors.New("core: nil radio model")
+	}
+	tr, err := geom.NewTrajectory(dep.Path(), sinkSpeed, slotLen)
+	if err != nil {
+		return nil, err
+	}
+	r := model.Range()
+	inst := &Instance{
+		T:     tr.SlotCount,
+		Tau:   slotLen,
+		Gamma: tr.Gamma(r),
+		Range: r,
+		Traj:  tr,
+	}
+	inst.Sensors = make([]SensorSlots, len(dep.Sensors))
+	for i, s := range dep.Sensors {
+		ss := SensorSlots{ID: i, Pos: s.Pos, Budget: s.Budget, Start: -1, End: -1}
+		j0, j1, ok := tr.SlotWindow(s.Pos, r)
+		if ok {
+			ss.Start, ss.End = j0, j1
+			ss.Rates = make([]float64, j1-j0+1)
+			ss.Powers = make([]float64, j1-j0+1)
+			for j := j0; j <= j1; j++ {
+				d := tr.PosAtSlotMid(j).Dist(s.Pos)
+				l, lok := model.LinkAt(d)
+				if !lok {
+					// Midpoint drifted out of range despite the window —
+					// treat as a dead slot.
+					continue
+				}
+				ss.Rates[j-j0] = l.Rate
+				ss.Powers[j-j0] = l.Power
+			}
+		}
+		inst.Sensors[i] = ss
+	}
+	return inst, nil
+}
+
+// Allocation assigns each slot to at most one sensor.
+type Allocation struct {
+	// SlotOwner[j] is the sensor index transmitting in slot j, or -1.
+	SlotOwner []int
+	// Data is the total collected volume in bits.
+	Data float64
+}
+
+// NewAllocation returns an empty allocation for the instance.
+func (inst *Instance) NewAllocation() *Allocation {
+	so := make([]int, inst.T)
+	for j := range so {
+		so[j] = -1
+	}
+	return &Allocation{SlotOwner: so}
+}
+
+// Validate checks constraints (1)-(4) of the problem definition and that
+// Data matches the assignment; it returns the recomputed data volume.
+func (inst *Instance) Validate(a *Allocation) (float64, error) {
+	if a == nil {
+		return 0, errors.New("core: nil allocation")
+	}
+	if len(a.SlotOwner) != inst.T {
+		return 0, fmt.Errorf("core: allocation covers %d slots, instance has %d", len(a.SlotOwner), inst.T)
+	}
+	energyUsed := make([]float64, len(inst.Sensors))
+	data := 0.0
+	for j, i := range a.SlotOwner {
+		if i == -1 {
+			continue
+		}
+		if i < 0 || i >= len(inst.Sensors) {
+			return 0, fmt.Errorf("core: slot %d assigned to invalid sensor %d", j, i)
+		}
+		s := &inst.Sensors[i]
+		if s.Start < 0 || j < s.Start || j > s.End {
+			return 0, fmt.Errorf("core: slot %d outside A(v_%d) = [%d,%d]", j, i, s.Start, s.End)
+		}
+		if s.RateAt(j) <= 0 {
+			return 0, fmt.Errorf("core: slot %d allocated to sensor %d with zero rate", j, i)
+		}
+		energyUsed[i] += s.PowerAt(j) * inst.Tau
+		data += s.RateAt(j) * inst.Tau
+	}
+	for i, e := range energyUsed {
+		if e > inst.Sensors[i].Budget+1e-9 {
+			return 0, fmt.Errorf("core: sensor %d spends %v J > budget %v J", i, e, inst.Sensors[i].Budget)
+		}
+	}
+	if err := inst.validateDataCaps(a); err != nil {
+		return 0, err
+	}
+	return data, nil
+}
+
+// EnergyUsed returns the per-sensor energy consumption of an allocation in
+// Joules (no feasibility checking).
+func (inst *Instance) EnergyUsed(a *Allocation) []float64 {
+	used := make([]float64, len(inst.Sensors))
+	for j, i := range a.SlotOwner {
+		if i >= 0 && i < len(inst.Sensors) {
+			used[i] += inst.Sensors[i].PowerAt(j) * inst.Tau
+		}
+	}
+	return used
+}
+
+// RecomputeData refreshes a.Data from the slot assignment.
+func (inst *Instance) RecomputeData(a *Allocation) {
+	data := 0.0
+	for j, i := range a.SlotOwner {
+		if i >= 0 {
+			data += inst.Sensors[i].RateAt(j) * inst.Tau
+		}
+	}
+	a.Data = data
+}
+
+// ThroughputMb converts bits to megabits, the figures' unit.
+func ThroughputMb(bits float64) float64 { return bits / 1e6 }

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mobisink/internal/gap"
+	"mobisink/internal/knapsack"
+	"mobisink/internal/matching"
+)
+
+// Options tunes the offline approximation algorithm.
+type Options struct {
+	// Knapsack overrides the inner single-bin solver. Nil selects
+	// automatically: an exact quantized DP when the instance's power levels
+	// share a coarse quantum (the paper's discrete power table does), and
+	// the (1−ε)-FPTAS otherwise.
+	Knapsack knapsack.Solver
+	// Eps is the FPTAS accuracy when the automatic choice falls back to it
+	// (or when ForceFPTAS is set). Zero means 0.1.
+	Eps float64
+	// ForceFPTAS always uses the FPTAS inner solver, matching the paper's
+	// stated construction (β = 1+ε ⇒ ratio 1/(2+ε)).
+	ForceFPTAS bool
+}
+
+func (o Options) Solver(inst *Instance) knapsack.Solver {
+	if o.Knapsack != nil {
+		return o.Knapsack
+	}
+	eps := o.Eps
+	if eps <= 0 {
+		eps = 0.1
+	}
+	if o.ForceFPTAS {
+		return knapsack.FPTAS(eps)
+	}
+	if q, ok := inst.weightQuantum(); ok {
+		return func(items []knapsack.Item, c float64) knapsack.Solution {
+			return knapsack.DP(items, c, q)
+		}
+	}
+	return knapsack.FPTAS(eps)
+}
+
+// weightQuantum finds a common quantum dividing every per-slot energy cost
+// P_{i,j}·τ, if the costs are discrete enough for an exact DP of reasonable
+// size. It returns ok=false for effectively continuous power models.
+func (inst *Instance) weightQuantum() (float64, bool) {
+	const unit = 1e-6 // resolve weights in micro-Joules
+	g := int64(0)
+	maxQ := int64(0)
+	for i := range inst.Sensors {
+		for _, p := range inst.Sensors[i].Powers {
+			if p <= 0 {
+				continue
+			}
+			w := int64(math.Round(p * inst.Tau / unit))
+			if w == 0 {
+				return 0, false
+			}
+			g = gcd64(g, w)
+			if w > maxQ {
+				maxQ = w
+			}
+		}
+	}
+	if g == 0 {
+		return 0, false
+	}
+	// Table size per window slot is w/g; keep the DP comfortably small.
+	if maxQ/g > 4096 {
+		return 0, false
+	}
+	return float64(g) * unit, true
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// OfflineAppro is the paper's Algorithm 1 (Offline_Appro): sensors are
+// sorted by (start slot, end slot); the Cohen-Katzir-Raz local-ratio GAP
+// algorithm packs each sensor's window with a knapsack oracle against
+// residual profits; each slot finally belongs to the last sensor that
+// claimed it. With a β-approximate knapsack the allocation is within
+// 1/(1+β) of optimal.
+func OfflineAppro(inst *Instance, opts Options) (*Allocation, error) {
+	if inst == nil {
+		return nil, errors.New("core: nil instance")
+	}
+	order := sensorOrder(inst)
+	g := &gap.Instance{NumItems: inst.T}
+	g.Bins = make([]gap.Bin, len(order))
+	for b, si := range order {
+		s := &inst.Sensors[si]
+		bin := gap.Bin{Capacity: s.Budget}
+		for j := s.Start; s.Start >= 0 && j <= s.End; j++ {
+			r, p := s.RateAt(j), s.PowerAt(j)
+			if r <= 0 || p <= 0 {
+				continue
+			}
+			bin.Entries = append(bin.Entries, gap.Entry{
+				Item:   j,
+				Profit: r * inst.Tau,
+				Weight: p * inst.Tau,
+			})
+		}
+		g.Bins[b] = bin
+	}
+	asg, err := gap.LocalRatio(g, opts.Solver(inst))
+	if err != nil {
+		return nil, err
+	}
+	alloc := inst.NewAllocation()
+	for j, b := range asg.ItemBin {
+		if b >= 0 {
+			alloc.SlotOwner[j] = order[b]
+		}
+	}
+	inst.RecomputeData(alloc)
+	return alloc, nil
+}
+
+// sensorOrder returns sensor indices sorted by increasing start slot, then
+// end slot (paper Algorithm 1 line 1); sensors that never hear the sink are
+// dropped.
+func sensorOrder(inst *Instance) []int {
+	order := make([]int, 0, len(inst.Sensors))
+	for i := range inst.Sensors {
+		if inst.Sensors[i].Start >= 0 {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := &inst.Sensors[order[a]], &inst.Sensors[order[b]]
+		if sa.Start != sb.Start {
+			return sa.Start < sb.Start
+		}
+		if sa.End != sb.End {
+			return sa.End < sb.End
+		}
+		return order[a] < order[b] // deterministic tie-break
+	})
+	return order
+}
+
+// FixedTxPower returns the single transmission power if every positive
+// per-slot power in the instance is identical (the special case of
+// paper §VI), else ok=false.
+func (inst *Instance) FixedTxPower() (float64, bool) {
+	p := 0.0
+	for i := range inst.Sensors {
+		for _, pw := range inst.Sensors[i].Powers {
+			if pw <= 0 {
+				continue
+			}
+			if p == 0 {
+				p = pw
+			} else if math.Abs(pw-p) > 1e-12 {
+				return 0, false
+			}
+		}
+	}
+	if p == 0 {
+		return 0, false
+	}
+	return p, true
+}
+
+// OfflineMaxMatch solves the fixed-transmission-power special case exactly
+// (paper §VI, Offline_MaxMatch): a maximum-weight matching between sensors
+// and slots where sensor v_i may take up to
+// n'_i = min(|A(v_i)|, ⌊P(v_i)/(P'·τ)⌋) slots. It errors when the instance
+// is not a fixed-power instance.
+func OfflineMaxMatch(inst *Instance) (*Allocation, error) {
+	if inst == nil {
+		return nil, errors.New("core: nil instance")
+	}
+	pFixed, ok := inst.FixedTxPower()
+	if !ok {
+		return nil, fmt.Errorf("core: OfflineMaxMatch requires a single fixed transmission power")
+	}
+	perSlotCost := pFixed * inst.Tau
+	g, err := matching.NewGraph(len(inst.Sensors), inst.T)
+	if err != nil {
+		return nil, err
+	}
+	for i := range inst.Sensors {
+		s := &inst.Sensors[i]
+		if s.Start < 0 {
+			if err := g.SetLeftCap(i, 0); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		capSlots := int(math.Floor(s.Budget/perSlotCost + 1e-9))
+		if w := s.WindowSize(); capSlots > w {
+			capSlots = w
+		}
+		if err := g.SetLeftCap(i, capSlots); err != nil {
+			return nil, err
+		}
+		for j := s.Start; j <= s.End; j++ {
+			if r := s.RateAt(j); r > 0 {
+				if err := g.AddEdge(i, j, r*inst.Tau); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	res := g.MaxWeight()
+	alloc := inst.NewAllocation()
+	copy(alloc.SlotOwner, res.RightMatch)
+	inst.RecomputeData(alloc)
+	return alloc, nil
+}
+
+// OfflineGreedy is a density-greedy baseline over all (sensor, slot) pairs.
+func OfflineGreedy(inst *Instance) (*Allocation, error) {
+	if inst == nil {
+		return nil, errors.New("core: nil instance")
+	}
+	g := &gap.Instance{NumItems: inst.T}
+	g.Bins = make([]gap.Bin, len(inst.Sensors))
+	for i := range inst.Sensors {
+		s := &inst.Sensors[i]
+		bin := gap.Bin{Capacity: s.Budget}
+		for j := s.Start; s.Start >= 0 && j <= s.End; j++ {
+			r, p := s.RateAt(j), s.PowerAt(j)
+			if r <= 0 || p <= 0 {
+				continue
+			}
+			bin.Entries = append(bin.Entries, gap.Entry{Item: j, Profit: r * inst.Tau, Weight: p * inst.Tau})
+		}
+		g.Bins[i] = bin
+	}
+	asg, err := gap.Greedy(g)
+	if err != nil {
+		return nil, err
+	}
+	alloc := inst.NewAllocation()
+	copy(alloc.SlotOwner, asg.ItemBin)
+	inst.RecomputeData(alloc)
+	return alloc, nil
+}

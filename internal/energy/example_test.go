@@ -1,0 +1,35 @@
+package energy_test
+
+import (
+	"fmt"
+
+	"mobisink/internal/energy"
+)
+
+// The calibrated solar model reproduces the paper's measured 48-hour
+// totals for the reference panel.
+func ExampleNewSolar() {
+	ref, _ := energy.NewSolar(energy.ReferencePanelAreaMM2, energy.Sunny, 1.0)
+	fmt.Printf("reference panel, 48 h: %.2f J (%.2f mWh)\n",
+		ref.EnergyBetween(0, 48*3600), ref.EnergyBetween(0, 48*3600)/3.6)
+
+	paper := energy.PaperSolar(energy.Sunny)
+	fmt.Printf("paper 10×10 mm panel, average: %.3f mW\n",
+		1000*paper.EnergyBetween(0, 48*3600)/(48*3600))
+	// Output:
+	// reference panel, 48 h: 2358.54 J (655.15 mWh)
+	// paper 10×10 mm panel, average: 0.997 mW
+}
+
+// The per-tour budget recurrence P_j = min(P_{j-1} + Q − O, B).
+func ExampleAccount() {
+	batt, _ := energy.NewBattery(10 /* J capacity */, 4 /* J stored */)
+	acct, _ := energy.NewAccount(batt, energy.Constant{P: 0.001}, 0)
+
+	fmt.Printf("tour 1 budget: %.1f J\n", acct.Budget())
+	_ = acct.EndTour(2000 /* s */, 3 /* J consumed */)
+	fmt.Printf("tour 2 budget: %.1f J\n", acct.Budget()) // 4 − 3 + 2 harvested
+	// Output:
+	// tour 1 budget: 4.0 J
+	// tour 2 budget: 3.0 J
+}

@@ -1,0 +1,121 @@
+package energy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Predictor implements the paper's §II.B assumption that future harvest is
+// "uncontrollable but predictable based on the source type and harvesting
+// history": an EWMA profile over time-of-day buckets, in the spirit of the
+// classic EWMA solar predictors (Kansal et al.). Observations from past
+// days train per-bucket mean power; Predict integrates the learned profile
+// over a future window.
+type Predictor struct {
+	bucketLen float64   // seconds per time-of-day bucket
+	alpha     float64   // EWMA weight of the newest observation
+	mean      []float64 // learned mean power per bucket, W
+	seen      []bool    // whether a bucket has any observation
+}
+
+// NewPredictor creates a predictor with the given time-of-day resolution
+// (bucketLen seconds, dividing a day evenly is recommended) and EWMA weight
+// alpha ∈ (0, 1].
+func NewPredictor(bucketLen, alpha float64) (*Predictor, error) {
+	if bucketLen <= 0 || bucketLen > secondsPerDay {
+		return nil, fmt.Errorf("energy: bucket length %v outside (0, %v]", bucketLen, secondsPerDay)
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("energy: alpha %v outside (0,1]", alpha)
+	}
+	n := int(math.Ceil(secondsPerDay / bucketLen))
+	return &Predictor{
+		bucketLen: bucketLen,
+		alpha:     alpha,
+		mean:      make([]float64, n),
+		seen:      make([]bool, n),
+	}, nil
+}
+
+func (p *Predictor) bucket(t float64) int {
+	tod := math.Mod(t, secondsPerDay)
+	if tod < 0 {
+		tod += secondsPerDay
+	}
+	b := int(tod / p.bucketLen)
+	if b >= len(p.mean) {
+		b = len(p.mean) - 1
+	}
+	return b
+}
+
+// Observe records the energy actually harvested over [t0, t1] (Joules),
+// attributing mean power to every bucket the interval covers.
+func (p *Predictor) Observe(t0, t1, joules float64) error {
+	if t1 <= t0 {
+		return errors.New("energy: empty observation interval")
+	}
+	if joules < 0 {
+		return fmt.Errorf("energy: negative harvest %v", joules)
+	}
+	power := joules / (t1 - t0)
+	for t := t0; t < t1; t += p.bucketLen {
+		b := p.bucket(t)
+		if !p.seen[b] {
+			p.mean[b] = power
+			p.seen[b] = true
+		} else {
+			p.mean[b] = (1-p.alpha)*p.mean[b] + p.alpha*power
+		}
+	}
+	return nil
+}
+
+// Train feeds the predictor `days` days of history from a harvester,
+// observing bucket by bucket (a convenience for simulations).
+func (p *Predictor) Train(h Harvester, start float64, days int) error {
+	if h == nil {
+		return errors.New("energy: nil harvester")
+	}
+	if days <= 0 {
+		return errors.New("energy: need at least one training day")
+	}
+	end := start + float64(days)*secondsPerDay
+	for t := start; t < end; t += p.bucketLen {
+		hi := t + p.bucketLen
+		if err := p.Observe(t, hi, h.EnergyBetween(t, hi)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Predict estimates the energy (Joules) that will be harvested over
+// [t0, t1] from the learned profile. Buckets never observed predict zero.
+func (p *Predictor) Predict(t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	total := 0.0
+	for t := t0; t < t1; {
+		b := p.bucket(t)
+		// Integrate to the end of this bucket or the horizon.
+		bucketEnd := math.Floor(t/p.bucketLen)*p.bucketLen + p.bucketLen
+		hi := math.Min(bucketEnd, t1)
+		total += p.mean[b] * (hi - t)
+		t = hi
+	}
+	return total
+}
+
+// Coverage returns the fraction of time-of-day buckets with observations.
+func (p *Predictor) Coverage() float64 {
+	n := 0
+	for _, s := range p.seen {
+		if s {
+			n++
+		}
+	}
+	return float64(n) / float64(len(p.seen))
+}

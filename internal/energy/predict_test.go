@@ -1,0 +1,130 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewPredictorValidation(t *testing.T) {
+	if _, err := NewPredictor(0, 0.5); err == nil {
+		t.Error("expected bucket error")
+	}
+	if _, err := NewPredictor(2*secondsPerDay, 0.5); err == nil {
+		t.Error("expected oversize bucket error")
+	}
+	if _, err := NewPredictor(3600, 0); err == nil {
+		t.Error("expected alpha error")
+	}
+	if _, err := NewPredictor(3600, 1.5); err == nil {
+		t.Error("expected alpha range error")
+	}
+}
+
+func TestPredictorLearnsDeterministicProfile(t *testing.T) {
+	p, err := NewPredictor(1800, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sun := PaperSolar(Sunny)
+	if err := p.Train(sun, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if p.Coverage() != 1 {
+		t.Fatalf("coverage = %v after full training", p.Coverage())
+	}
+	// On a noiseless periodic source the prediction should be near-exact
+	// for any horizon aligned to the learned profile.
+	for _, span := range [][2]float64{{6 * 3600, 10 * 3600}, {0, secondsPerDay}, {11 * 3600, 13 * 3600}} {
+		// Ask about the NEXT day (future time), same time-of-day.
+		t0 := span[0] + 5*secondsPerDay
+		t1 := span[1] + 5*secondsPerDay
+		got := p.Predict(t0, t1)
+		want := sun.EnergyBetween(t0, t1)
+		tol := math.Max(0.02*want, 0.01)
+		if math.Abs(got-want) > tol {
+			t.Errorf("span %v: predicted %v, actual %v", span, got, want)
+		}
+	}
+	// Night predictions are ~zero.
+	if got := p.Predict(5*secondsPerDay, 5*secondsPerDay+3*3600); got > 0.01 {
+		t.Errorf("night prediction = %v", got)
+	}
+}
+
+func TestPredictorTracksNoisySource(t *testing.T) {
+	base := PaperSolar(Sunny)
+	noisy, err := NewNoisy(base, 0.5, 1800, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPredictor(3600, 0.3)
+	if err := p.Train(noisy, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	// A week of noisy training should predict daily energy within ~25%.
+	day := 10.0
+	got := p.Predict(day*secondsPerDay, (day+1)*secondsPerDay)
+	actual := noisy.EnergyBetween(day*secondsPerDay, (day+1)*secondsPerDay)
+	if got <= 0 {
+		t.Fatal("no prediction after training")
+	}
+	if math.Abs(got-actual)/actual > 0.35 {
+		t.Errorf("daily prediction %v vs actual %v", got, actual)
+	}
+}
+
+func TestPredictorObserveValidation(t *testing.T) {
+	p, _ := NewPredictor(3600, 0.5)
+	if err := p.Observe(10, 10, 1); err == nil {
+		t.Error("expected empty-interval error")
+	}
+	if err := p.Observe(0, 10, -1); err == nil {
+		t.Error("expected negative error")
+	}
+	if err := p.Train(nil, 0, 1); err == nil {
+		t.Error("expected nil-harvester error")
+	}
+	if err := p.Train(Constant{1}, 0, 0); err == nil {
+		t.Error("expected days error")
+	}
+}
+
+func TestPredictorUntrainedPredictsZero(t *testing.T) {
+	p, _ := NewPredictor(3600, 0.5)
+	if got := p.Predict(0, secondsPerDay); got != 0 {
+		t.Errorf("untrained prediction = %v", got)
+	}
+	if p.Coverage() != 0 {
+		t.Error("untrained coverage must be 0")
+	}
+	if p.Predict(10, 5) != 0 {
+		t.Error("reversed interval must be 0")
+	}
+}
+
+// Using predictions for tour budgets: the planning error shows up as either
+// unused energy (under-prediction) or infeasible schedules that the account
+// rejects (over-prediction) — quantify the under-prediction case.
+func TestPredictorDrivenBudgeting(t *testing.T) {
+	noisy, _ := NewNoisy(PaperSolar(Sunny), 0.6, 1800, 7)
+	p, _ := NewPredictor(3600, 0.3)
+	if err := p.Train(noisy, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Plan hourly tours for day 6 with predicted budgets, compare with
+	// the oracle (actual harvest).
+	var predicted, actual float64
+	day := 6.0 * secondsPerDay
+	for h := 0; h < 24; h++ {
+		t0 := day + float64(h)*3600
+		predicted += p.Predict(t0, t0+3600)
+		actual += noisy.EnergyBetween(t0, t0+3600)
+	}
+	if predicted <= 0 || actual <= 0 {
+		t.Fatal("degenerate day")
+	}
+	ratio := predicted / actual
+	if ratio < 0.6 || ratio > 1.6 {
+		t.Errorf("day-ahead budget prediction off by %vx", ratio)
+	}
+}

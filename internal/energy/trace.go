@@ -1,0 +1,235 @@
+package energy
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Trace is a Harvester driven by sampled measurements: (time, power) points
+// with linear interpolation between samples, constant extrapolation before
+// the first and after the last sample, and optional periodic repetition.
+// It is the drop-in replacement for the paper's real solar-radiation traces
+// when such measurements are available.
+type Trace struct {
+	times  []float64 // ascending, seconds
+	powers []float64 // Watts
+	period float64   // 0 = no repetition
+}
+
+// NewTrace builds a trace from sample points. times must be strictly
+// ascending and powers non-negative; period (seconds) makes the trace
+// repeat (e.g. 86400 for a daily profile) and must be at least the last
+// sample time, or 0 to disable repetition.
+func NewTrace(times, powers []float64, period float64) (*Trace, error) {
+	if len(times) == 0 || len(times) != len(powers) {
+		return nil, fmt.Errorf("energy: trace needs equal-length samples, got %d/%d", len(times), len(powers))
+	}
+	for i := range times {
+		if i > 0 && times[i] <= times[i-1] {
+			return nil, fmt.Errorf("energy: trace times not ascending at index %d", i)
+		}
+		if powers[i] < 0 {
+			return nil, fmt.Errorf("energy: negative power %v at index %d", powers[i], i)
+		}
+		if times[i] < 0 {
+			return nil, fmt.Errorf("energy: negative time %v at index %d", times[i], i)
+		}
+	}
+	if period != 0 && period < times[len(times)-1] {
+		return nil, fmt.Errorf("energy: period %v shorter than last sample %v", period, times[len(times)-1])
+	}
+	t := &Trace{
+		times:  append([]float64(nil), times...),
+		powers: append([]float64(nil), powers...),
+		period: period,
+	}
+	return t, nil
+}
+
+// ReadTraceCSV parses a two-column CSV (time_seconds, power_watts) into a
+// Trace. Lines starting with '#' and a header row of non-numeric fields are
+// skipped.
+func ReadTraceCSV(r io.Reader, period float64) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.Comment = '#'
+	cr.FieldsPerRecord = -1
+	var times, powers []float64
+	rowNum := 0
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		rowNum++
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("energy: trace row %d has %d fields, want 2", rowNum, len(rec))
+		}
+		t, err1 := strconv.ParseFloat(rec[0], 64)
+		p, err2 := strconv.ParseFloat(rec[1], 64)
+		if err1 != nil || err2 != nil {
+			if rowNum == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("energy: trace row %d is not numeric", rowNum)
+		}
+		times = append(times, t)
+		powers = append(powers, p)
+	}
+	return NewTrace(times, powers, period)
+}
+
+// WriteCSV emits the trace samples as CSV with a header row.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "power_w"}); err != nil {
+		return err
+	}
+	for i := range t.times {
+		if err := cw.Write([]string{
+			strconv.FormatFloat(t.times[i], 'g', -1, 64),
+			strconv.FormatFloat(t.powers[i], 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Power implements Harvester by linear interpolation.
+func (t *Trace) Power(at float64) float64 {
+	if t.period > 0 {
+		at = modPos(at, t.period)
+	}
+	n := len(t.times)
+	if at <= t.times[0] {
+		return t.powers[0]
+	}
+	if at >= t.times[n-1] {
+		return t.powers[n-1]
+	}
+	// Index of the first sample at or after `at`.
+	i := sort.SearchFloat64s(t.times, at)
+	if t.times[i] == at {
+		return t.powers[i]
+	}
+	frac := (at - t.times[i-1]) / (t.times[i] - t.times[i-1])
+	return t.powers[i-1] + frac*(t.powers[i]-t.powers[i-1])
+}
+
+// EnergyBetween implements Harvester with exact piecewise-linear
+// integration.
+func (t *Trace) EnergyBetween(t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	if t.period > 0 {
+		// Whole periods plus the remainder.
+		per := t.integrate(0, t.period)
+		n0 := math.Floor(t0 / t.period)
+		n1 := math.Floor(t1 / t.period)
+		if n0 == n1 {
+			return t.integrate(t0-n0*t.period, t1-n0*t.period)
+		}
+		total := t.integrate(t0-n0*t.period, t.period)
+		total += per * (n1 - n0 - 1)
+		total += t.integrate(0, t1-n1*t.period)
+		return total
+	}
+	return t.integrate(t0, t1)
+}
+
+// integrate computes the exact integral over [a, b] within one period
+// (no wrapping), handling the constant extrapolation regions.
+func (t *Trace) integrate(a, b float64) float64 {
+	if b <= a {
+		return 0
+	}
+	total := 0.0
+	n := len(t.times)
+	// Leading constant region.
+	if a < t.times[0] {
+		hi := b
+		if hi > t.times[0] {
+			hi = t.times[0]
+		}
+		total += t.powers[0] * (hi - a)
+		a = hi
+		if a >= b {
+			return total
+		}
+	}
+	// Trailing constant region.
+	if b > t.times[n-1] {
+		lo := a
+		if lo < t.times[n-1] {
+			lo = t.times[n-1]
+		}
+		total += t.powers[n-1] * (b - lo)
+		b = t.times[n-1]
+		if a >= b {
+			return total
+		}
+	}
+	// Piecewise-linear middle: trapezoid between clipped segment parts.
+	i := sort.SearchFloat64s(t.times, a)
+	if i > 0 && (i == n || t.times[i] > a) {
+		i--
+	}
+	for ; i < n-1 && t.times[i] < b; i++ {
+		lo, hi := t.times[i], t.times[i+1]
+		sa, sb := lo, hi
+		if sa < a {
+			sa = a
+		}
+		if sb > b {
+			sb = b
+		}
+		if sb <= sa {
+			continue
+		}
+		pa := t.powers[i] + (sa-lo)/(hi-lo)*(t.powers[i+1]-t.powers[i])
+		pb := t.powers[i] + (sb-lo)/(hi-lo)*(t.powers[i+1]-t.powers[i])
+		total += (pa + pb) / 2 * (sb - sa)
+	}
+	return total
+}
+
+// SampleHarvester tabulates any Harvester into a Trace with n uniform
+// samples over [0, horizon] (repeating with that period if periodic=true) —
+// useful for exporting the calibrated solar model as a CSV trace.
+func SampleHarvester(h Harvester, horizon float64, n int, periodic bool) (*Trace, error) {
+	if h == nil {
+		return nil, errors.New("energy: nil harvester")
+	}
+	if n < 2 || horizon <= 0 {
+		return nil, fmt.Errorf("energy: need n >= 2 samples over a positive horizon")
+	}
+	times := make([]float64, n)
+	powers := make([]float64, n)
+	for i := 0; i < n; i++ {
+		times[i] = horizon * float64(i) / float64(n-1)
+		powers[i] = h.Power(times[i])
+	}
+	period := 0.0
+	if periodic {
+		period = horizon
+	}
+	return NewTrace(times, powers, period)
+}
+
+func modPos(x, m float64) float64 {
+	r := math.Mod(x, m)
+	if r < 0 {
+		r += m
+	}
+	return r
+}

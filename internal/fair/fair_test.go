@@ -1,0 +1,169 @@
+package fair
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobisink/internal/core"
+	"mobisink/internal/energy"
+	"mobisink/internal/network"
+	"mobisink/internal/radio"
+)
+
+func buildInstance(t *testing.T, n int, seed int64) *core.Instance {
+	t.Helper()
+	dep, err := network.Generate(network.PaperParams(n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sun := energy.PaperSolar(energy.Sunny)
+	if err := dep.AssignSteadyStateBudgets(sun, 3*2000, 0.5, rng); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := core.BuildInstance(dep, radio.Paper2013(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestWaterFillNil(t *testing.T) {
+	if _, err := WaterFill(nil); err == nil {
+		t.Error("expected nil error")
+	}
+}
+
+func TestWaterFillFeasible(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		inst := buildInstance(t, 120, seed)
+		a, err := WaterFill(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, err := inst.Validate(a); err != nil || math.Abs(v-a.Data) > 1e-6 {
+			t.Fatalf("seed %d: infeasible or inconsistent: %v", seed, err)
+		}
+		if a.Data <= 0 {
+			t.Fatal("waterfill collected nothing")
+		}
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if JainIndex(nil) != 0 {
+		t.Error("empty")
+	}
+	if JainIndex([]float64{0, 0}) != 0 {
+		t.Error("all-zero")
+	}
+	if got := JainIndex([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal shares = %v, want 1", got)
+	}
+	if got := JainIndex([]float64{10, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("monopoly = %v, want 0.25", got)
+	}
+	if got := JainIndex([]float64{1, 2}); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("Jain(1,2) = %v, want 0.9", got)
+	}
+}
+
+// Water filling trades total throughput for spread: its Jain index should
+// beat the throughput-optimal matching's on average, while its total stays
+// below.
+func TestFairnessVsThroughputTradeoff(t *testing.T) {
+	fp, _ := radio.NewFixedPower(radio.Paper2013(), 0.3)
+	var jainWF, jainMM, totWF, totMM float64
+	const trials = 5
+	for seed := int64(0); seed < trials; seed++ {
+		dep, err := network.Generate(network.PaperParams(150, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		sun := energy.PaperSolar(energy.Sunny)
+		if err := dep.AssignSteadyStateBudgets(sun, 3*2000, 0.5, rng); err != nil {
+			t.Fatal(err)
+		}
+		inst, err := core.BuildInstance(dep, fp, 5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wf, err := WaterFill(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm, err := core.OfflineMaxMatch(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wf.Data > mm.Data+1e-6 {
+			t.Fatalf("seed %d: waterfill %v above the throughput optimum %v", seed, wf.Data, mm.Data)
+		}
+		jainWF += Coverage(inst, wf).Jain
+		jainMM += Coverage(inst, mm).Jain
+		totWF += wf.Data
+		totMM += mm.Data
+	}
+	if jainWF <= jainMM {
+		t.Errorf("waterfill Jain %v should exceed matching Jain %v on average", jainWF/trials, jainMM/trials)
+	}
+	if totWF > totMM {
+		t.Errorf("waterfill total %v cannot exceed optimum total %v", totWF, totMM)
+	}
+	// The fairness price is real (~2× here: far sensors burn their energy
+	// on 4.8 kbps slots) but should not be catastrophic.
+	if totWF < 0.3*totMM {
+		t.Errorf("waterfill total %v below 30%% of the optimum %v", totWF, totMM)
+	}
+}
+
+func TestPerSensorDataAndCoverage(t *testing.T) {
+	inst := buildInstance(t, 60, 9)
+	a, err := WaterFill(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := PerSensorData(inst, a)
+	sum := 0.0
+	for _, x := range per {
+		sum += x
+	}
+	if math.Abs(sum-a.Data) > 1e-6 {
+		t.Errorf("per-sensor sum %v != total %v", sum, a.Data)
+	}
+	st := Coverage(inst, a)
+	if st.Served > st.Eligible {
+		t.Errorf("served %d > eligible %d", st.Served, st.Eligible)
+	}
+	if st.Jain < 0 || st.Jain > 1 {
+		t.Errorf("Jain = %v", st.Jain)
+	}
+	if st.Served > 0 && st.MinServed <= 0 {
+		t.Errorf("MinServed = %v with %d served", st.MinServed, st.Served)
+	}
+}
+
+func TestMinDataAndSortedShares(t *testing.T) {
+	inst := buildInstance(t, 80, 11)
+	wf, _ := WaterFill(inst)
+	mm, err := core.OfflineAppro(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max-min objective: water filling should not have a smaller minimum
+	// than the throughput-oriented allocation (usually strictly larger).
+	if MinData(inst, wf) < MinData(inst, mm)-1e-9 {
+		t.Errorf("waterfill min %v below appro min %v", MinData(inst, wf), MinData(inst, mm))
+	}
+	shares := SortedShares(inst, wf)
+	for i := 1; i < len(shares); i++ {
+		if shares[i] < shares[i-1] {
+			t.Fatal("shares not sorted")
+		}
+	}
+	if len(shares) != len(inst.Sensors) {
+		t.Fatal("share count mismatch")
+	}
+}

@@ -1,0 +1,30 @@
+package gap_test
+
+import (
+	"fmt"
+
+	"mobisink/internal/gap"
+	"mobisink/internal/knapsack"
+)
+
+// Two capacitated bins (sensors) compete for three items (time slots); the
+// local-ratio algorithm assigns each item to the last bin that claimed it.
+func ExampleLocalRatio() {
+	inst := &gap.Instance{
+		NumItems: 3,
+		Bins: []gap.Bin{
+			{Capacity: 2, Entries: []gap.Entry{
+				{Item: 0, Profit: 10, Weight: 1},
+				{Item: 1, Profit: 9, Weight: 1},
+				{Item: 2, Profit: 1, Weight: 1},
+			}},
+			{Capacity: 1, Entries: []gap.Entry{
+				{Item: 0, Profit: 2, Weight: 1},
+				{Item: 2, Profit: 8, Weight: 1},
+			}},
+		},
+	}
+	asg, _ := gap.LocalRatio(inst, knapsack.BranchAndBound)
+	fmt.Printf("profit=%.0f items→bins=%v\n", asg.Profit, asg.ItemBin)
+	// Output: profit=27 items→bins=[0 0 1]
+}

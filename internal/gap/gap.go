@@ -1,0 +1,309 @@
+// Package gap solves the Generalized Assignment Problem (GAP): pack items
+// into capacitated bins where each (bin, item) pair has its own profit and
+// weight, maximizing total profit. The data collection maximization problem
+// reduces to GAP with bins = sensors (capacity = per-tour energy budget) and
+// items = time slots (paper Thm 1).
+//
+// The main solver is LocalRatio, the Cohen-Katzir-Raz algorithm the paper
+// adopts (its ref. [3]): bins are processed in a given order; each bin packs
+// its eligible items with a knapsack oracle against *residual* profits; the
+// profit function is then decomposed so that later bins only see the profit
+// in excess of what the current bin claimed; finally each item goes to the
+// last bin that selected it. With a β-approximate knapsack oracle the result
+// is a 1/(1+β)-approximation.
+package gap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mobisink/internal/knapsack"
+)
+
+// Entry is one eligible (bin, item) pair.
+type Entry struct {
+	Item   int     // item index in [0, NumItems)
+	Profit float64 // profit if the bin receives the item
+	Weight float64 // capacity consumed in this bin
+}
+
+// Bin is one capacitated bin and the items it may receive.
+type Bin struct {
+	Capacity float64
+	Entries  []Entry
+}
+
+// Instance is a sparse GAP instance.
+type Instance struct {
+	NumItems int
+	Bins     []Bin
+}
+
+// Validate checks index ranges, signs, and per-bin duplicate entries.
+func (inst *Instance) Validate() error {
+	if inst.NumItems < 0 {
+		return fmt.Errorf("gap: negative item count %d", inst.NumItems)
+	}
+	for b, bin := range inst.Bins {
+		if bin.Capacity < 0 {
+			return fmt.Errorf("gap: bin %d has negative capacity", b)
+		}
+		seen := make(map[int]bool, len(bin.Entries))
+		for _, e := range bin.Entries {
+			if e.Item < 0 || e.Item >= inst.NumItems {
+				return fmt.Errorf("gap: bin %d references item %d out of range", b, e.Item)
+			}
+			if e.Weight < 0 {
+				return fmt.Errorf("gap: bin %d item %d has negative weight", b, e.Item)
+			}
+			if seen[e.Item] {
+				return fmt.Errorf("gap: bin %d lists item %d twice", b, e.Item)
+			}
+			seen[e.Item] = true
+		}
+	}
+	return nil
+}
+
+// Assignment maps each item to its bin (or -1 for unassigned).
+type Assignment struct {
+	ItemBin []int
+	Profit  float64
+}
+
+// NewAssignment returns an all-unassigned assignment for n items.
+func NewAssignment(n int) *Assignment {
+	ib := make([]int, n)
+	for i := range ib {
+		ib[i] = -1
+	}
+	return &Assignment{ItemBin: ib}
+}
+
+// Check verifies the assignment is feasible for the instance and that
+// Profit is consistent; it returns the recomputed profit.
+func (a *Assignment) Check(inst *Instance) (float64, error) {
+	if len(a.ItemBin) != inst.NumItems {
+		return 0, fmt.Errorf("gap: assignment covers %d items, instance has %d", len(a.ItemBin), inst.NumItems)
+	}
+	used := make([]float64, len(inst.Bins))
+	total := 0.0
+	for item, b := range a.ItemBin {
+		if b == -1 {
+			continue
+		}
+		if b < 0 || b >= len(inst.Bins) {
+			return 0, fmt.Errorf("gap: item %d assigned to invalid bin %d", item, b)
+		}
+		e, ok := findEntry(inst.Bins[b].Entries, item)
+		if !ok {
+			return 0, fmt.Errorf("gap: item %d assigned to bin %d which is not eligible", item, b)
+		}
+		used[b] += e.Weight
+		total += e.Profit
+	}
+	for b, w := range used {
+		if w > inst.Bins[b].Capacity+1e-9 {
+			return 0, fmt.Errorf("gap: bin %d overfull: %v > %v", b, w, inst.Bins[b].Capacity)
+		}
+	}
+	return total, nil
+}
+
+func findEntry(entries []Entry, item int) (Entry, bool) {
+	for _, e := range entries {
+		if e.Item == item {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// LocalRatio runs the Cohen-Katzir-Raz algorithm with the given knapsack
+// oracle, processing bins in index order (callers encode the paper's
+// start-slot/end-slot sensor ordering by building Bins accordingly).
+func LocalRatio(inst *Instance, solve knapsack.Solver) (*Assignment, error) {
+	if solve == nil {
+		return nil, errors.New("gap: nil knapsack solver")
+	}
+	return LocalRatioBins(inst, func(_ int, items []knapsack.Item, capacity float64) knapsack.Solution {
+		return solve(items, capacity)
+	})
+}
+
+// BinSolver packs one bin; the bin index lets callers vary per-bin
+// constraints (e.g. a per-sensor data cap on total profit).
+type BinSolver func(bin int, items []knapsack.Item, capacity float64) knapsack.Solution
+
+// LocalRatioBins is LocalRatio with a per-bin oracle.
+func LocalRatioBins(inst *Instance, solve BinSolver) (*Assignment, error) {
+	if solve == nil {
+		return nil, errors.New("gap: nil bin solver")
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	// lastClaim[j] is the original profit of (l, j) for the most recent bin
+	// l whose knapsack selected item j; the residual profit of (i, j) is
+	// orig(i, j) − lastClaim[j]. This implements the paper's decomposition
+	// D^{(l+1)} / T^{(l+1)} without materializing the n×T matrices.
+	lastClaim := make([]float64, inst.NumItems)
+	lastBin := make([]int, inst.NumItems)
+	for i := range lastBin {
+		lastBin[i] = -1
+	}
+
+	items := make([]knapsack.Item, 0, 64)
+	itemIdx := make([]int, 0, 64)
+	for b, bin := range inst.Bins {
+		items = items[:0]
+		itemIdx = itemIdx[:0]
+		for _, e := range bin.Entries {
+			residual := e.Profit - lastClaim[e.Item]
+			if residual <= 0 {
+				continue // the knapsack would never take it
+			}
+			items = append(items, knapsack.Item{Profit: residual, Weight: e.Weight})
+			itemIdx = append(itemIdx, e.Item)
+		}
+		sol := solve(b, items, bin.Capacity)
+		for _, k := range sol.Picked {
+			j := itemIdx[k]
+			e, _ := findEntry(bin.Entries, j)
+			lastClaim[j] = e.Profit
+			lastBin[j] = b
+		}
+	}
+
+	// Final pass (paper Algorithm 1 lines 9-12): S_l = S̄_l \ ∪_{j>l} S̄_j,
+	// i.e. each item belongs to the last bin that selected it — which is
+	// exactly lastBin.
+	a := &Assignment{ItemBin: lastBin}
+	for j, b := range lastBin {
+		if b >= 0 {
+			e, _ := findEntry(inst.Bins[b].Entries, j)
+			a.Profit += e.Profit
+		}
+	}
+	return a, nil
+}
+
+// Greedy is a simple baseline: consider all (bin, item) entries in
+// decreasing profit-per-weight density and assign each still-unassigned item
+// to the first bin with enough residual capacity.
+func Greedy(inst *Instance) (*Assignment, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	var cands []cand
+	for b, bin := range inst.Bins {
+		for _, e := range bin.Entries {
+			if e.Profit <= 0 || e.Weight > bin.Capacity {
+				continue
+			}
+			d := inf
+			if e.Weight > 0 {
+				d = e.Profit / e.Weight
+			}
+			cands = append(cands, cand{b, e, d})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return candLess(cands[i], cands[j]) })
+	a := NewAssignment(inst.NumItems)
+	residual := make([]float64, len(inst.Bins))
+	for b := range residual {
+		residual[b] = inst.Bins[b].Capacity
+	}
+	for _, c := range cands {
+		if a.ItemBin[c.e.Item] != -1 {
+			continue
+		}
+		if c.e.Weight > residual[c.bin] {
+			continue
+		}
+		a.ItemBin[c.e.Item] = c.bin
+		residual[c.bin] -= c.e.Weight
+		a.Profit += c.e.Profit
+	}
+	return a, nil
+}
+
+const inf = 1e308
+
+type cand struct {
+	bin     int
+	e       Entry
+	density float64
+}
+
+func candLess(a, b cand) bool {
+	if a.density != b.density {
+		return a.density > b.density // descending density
+	}
+	if a.e.Profit != b.e.Profit {
+		return a.e.Profit > b.e.Profit
+	}
+	if a.bin != b.bin {
+		return a.bin < b.bin
+	}
+	return a.e.Item < b.e.Item
+}
+
+// Exhaustive finds the optimal assignment by exhaustive search; it is
+// exponential and intended only for tiny instances in tests and
+// fraction-of-optimum reports. It returns an error when the search space
+// exceeds maxStates.
+func Exhaustive(inst *Instance, maxStates uint64) (*Assignment, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	// Search space: each item picks one of its eligible bins or none.
+	states := uint64(1)
+	perItem := make([][]int, inst.NumItems) // eligible bins per item
+	for b, bin := range inst.Bins {
+		for _, e := range bin.Entries {
+			perItem[e.Item] = append(perItem[e.Item], b)
+		}
+	}
+	for _, bins := range perItem {
+		m := uint64(len(bins) + 1)
+		if states > maxStates/m {
+			return nil, fmt.Errorf("gap: exhaustive search space exceeds %d states", maxStates)
+		}
+		states *= m
+	}
+
+	best := NewAssignment(inst.NumItems)
+	cur := NewAssignment(inst.NumItems)
+	residual := make([]float64, len(inst.Bins))
+	for b := range residual {
+		residual[b] = inst.Bins[b].Capacity
+	}
+	var dfs func(item int, profit float64)
+	dfs = func(item int, profit float64) {
+		if item == inst.NumItems {
+			if profit > best.Profit {
+				best.Profit = profit
+				copy(best.ItemBin, cur.ItemBin)
+			}
+			return
+		}
+		// Skip the item.
+		cur.ItemBin[item] = -1
+		dfs(item+1, profit)
+		for _, b := range perItem[item] {
+			e, _ := findEntry(inst.Bins[b].Entries, item)
+			if e.Profit <= 0 || e.Weight > residual[b] {
+				continue
+			}
+			cur.ItemBin[item] = b
+			residual[b] -= e.Weight
+			dfs(item+1, profit+e.Profit)
+			residual[b] += e.Weight
+			cur.ItemBin[item] = -1
+		}
+	}
+	dfs(0, 0)
+	return best, nil
+}

@@ -1,0 +1,46 @@
+package knapsack_test
+
+import (
+	"fmt"
+
+	"mobisink/internal/knapsack"
+)
+
+// A sensor choosing transmission slots: profits are the data volumes per
+// slot (bits), weights the energy costs (Joules), the capacity its budget.
+func ExampleBranchAndBound() {
+	items := []knapsack.Item{
+		{Profit: 250000, Weight: 0.17}, // close to the sink: fast & cheap
+		{Profit: 19200, Weight: 0.22},
+		{Profit: 9600, Weight: 0.30},
+		{Profit: 4800, Weight: 0.33}, // far: slow & expensive
+	}
+	sol := knapsack.BranchAndBound(items, 0.40)
+	fmt.Printf("picked %v, %.0f bits for %.2f J\n", sol.Picked, sol.Profit, sol.Weight)
+	// Output: picked [0 1], 269200 bits for 0.39 J
+}
+
+func ExampleFPTAS() {
+	solve := knapsack.FPTAS(0.1) // profit ≥ 90% of optimal
+	items := []knapsack.Item{
+		{Profit: 60, Weight: 10},
+		{Profit: 100, Weight: 20},
+		{Profit: 120, Weight: 30},
+	}
+	sol := solve(items, 50)
+	fmt.Printf("%.0f\n", sol.Profit)
+	// Output: 220
+}
+
+// A sensor with only 300 kb of sensed data left cannot usefully occupy
+// more slots, no matter its energy budget.
+func ExampleMaxProfitUnder() {
+	items := []knapsack.Item{
+		{Profit: 250000, Weight: 0.17},
+		{Profit: 250000, Weight: 0.17},
+		{Profit: 250000, Weight: 0.17},
+	}
+	sol := knapsack.MaxProfitUnder(items, 10 /* J */, 300000 /* bits queued */, 400)
+	fmt.Printf("%d slot(s), %.0f bits\n", len(sol.Picked), sol.Profit)
+	// Output: 1 slot(s), 250000 bits
+}

@@ -1,0 +1,317 @@
+// Package knapsack provides 0/1 knapsack solvers used as the inner oracle of
+// the local-ratio GAP algorithm (paper §IV): any β-approximation for
+// knapsack yields a 1/(1+β)-approximation for the data collection
+// maximization problem. The package offers
+//
+//   - Greedy: density greedy + best-single-item, a 2-approximation
+//     (β = 2), O(n log n);
+//   - BranchAndBound: exact (β = 1) depth-first search with a fractional
+//     relaxation bound, fast on the small per-sensor instances that arise
+//     here (|A(v)| ≤ 2Γ items);
+//   - DP: exact dynamic program over quantized weights;
+//   - FPTAS: Lawler-style profit-scaling dynamic program with
+//     profit ≥ (1−ε)·OPT, i.e. β = 1/(1−ε) ≈ 1+ε, matching the paper's
+//     analysis (Thm 2 uses β = 1+ε ⇒ overall ratio 1/(2+ε)).
+//
+// Items with non-positive profit or weight exceeding the capacity are never
+// selected; zero-weight positive-profit items are always selected.
+package knapsack
+
+import (
+	"math"
+	"sort"
+)
+
+// Item is one knapsack item.
+type Item struct {
+	Profit float64 // objective contribution if packed (> 0 to be useful)
+	Weight float64 // capacity consumed if packed (≥ 0)
+}
+
+// Solution is a feasible packing.
+type Solution struct {
+	Picked []int   // indices into the input item slice, ascending
+	Profit float64 // total profit of Picked
+	Weight float64 // total weight of Picked
+}
+
+// Solver is any algorithm producing a feasible packing for items under the
+// given capacity.
+type Solver func(items []Item, capacity float64) Solution
+
+// usable reports whether item i can ever be packed profitably.
+func usable(it Item, capacity float64) bool {
+	return it.Profit > 0 && it.Weight >= 0 && it.Weight <= capacity
+}
+
+func finish(items []Item, picked []int) Solution {
+	sort.Ints(picked)
+	s := Solution{Picked: picked}
+	for _, i := range picked {
+		s.Profit += items[i].Profit
+		s.Weight += items[i].Weight
+	}
+	return s
+}
+
+// Greedy packs items in decreasing profit/weight density and returns the
+// better of the greedy packing and the single best item — the classic
+// 1/2-approximation.
+func Greedy(items []Item, capacity float64) Solution {
+	type cand struct {
+		idx     int
+		density float64
+	}
+	cands := make([]cand, 0, len(items))
+	best := -1
+	for i, it := range items {
+		if !usable(it, capacity) {
+			continue
+		}
+		d := math.Inf(1)
+		if it.Weight > 0 {
+			d = it.Profit / it.Weight
+		}
+		cands = append(cands, cand{i, d})
+		if best < 0 || it.Profit > items[best].Profit {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Solution{}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].density != cands[b].density {
+			return cands[a].density > cands[b].density
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	var picked []int
+	left := capacity
+	total := 0.0
+	for _, c := range cands {
+		if items[c.idx].Weight <= left {
+			picked = append(picked, c.idx)
+			left -= items[c.idx].Weight
+			total += items[c.idx].Profit
+		}
+	}
+	if total >= items[best].Profit {
+		return finish(items, picked)
+	}
+	return finish(items, []int{best})
+}
+
+// BranchAndBound solves the knapsack exactly by depth-first search over
+// density-sorted items with a fractional (LP relaxation) upper bound.
+func BranchAndBound(items []Item, capacity float64) Solution {
+	order := make([]int, 0, len(items))
+	for i, it := range items {
+		if usable(it, capacity) {
+			order = append(order, i)
+		}
+	}
+	if len(order) == 0 {
+		return Solution{}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := items[order[a]], items[order[b]]
+		da, db := math.Inf(1), math.Inf(1)
+		if ia.Weight > 0 {
+			da = ia.Profit / ia.Weight
+		}
+		if ib.Weight > 0 {
+			db = ib.Profit / ib.Weight
+		}
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+
+	// fracBound returns the LP relaxation value of packing order[k:] into
+	// the remaining capacity.
+	fracBound := func(k int, left float64) float64 {
+		bound := 0.0
+		for _, oi := range order[k:] {
+			it := items[oi]
+			if it.Weight <= left {
+				bound += it.Profit
+				left -= it.Weight
+			} else {
+				if it.Weight > 0 {
+					bound += it.Profit * left / it.Weight
+				}
+				break
+			}
+		}
+		return bound
+	}
+
+	bestProfit := -1.0
+	var bestSet []int
+	cur := make([]int, 0, len(order))
+
+	var dfs func(k int, left, profit float64)
+	dfs = func(k int, left, profit float64) {
+		if profit > bestProfit {
+			bestProfit = profit
+			bestSet = append(bestSet[:0], cur...)
+		}
+		if k == len(order) {
+			return
+		}
+		if profit+fracBound(k, left)+1e-12 <= bestProfit {
+			return // cannot beat the incumbent
+		}
+		it := items[order[k]]
+		if it.Weight <= left {
+			cur = append(cur, order[k])
+			dfs(k+1, left-it.Weight, profit+it.Profit)
+			cur = cur[:len(cur)-1]
+		}
+		dfs(k+1, left, profit)
+	}
+	dfs(0, capacity, 0)
+	return finish(items, append([]int(nil), bestSet...))
+}
+
+// DP solves the knapsack exactly after quantizing weights to multiples of
+// quantum: item weights are rounded up (keeping every packing feasible) and
+// the capacity is rounded down. With quantum small relative to the item
+// weights the result is exact; it is always feasible. Memory is
+// O(capacity/quantum) integers.
+func DP(items []Item, capacity float64, quantum float64) Solution {
+	if quantum <= 0 {
+		quantum = 1e-6
+	}
+	capQ := int(math.Floor(capacity / quantum))
+	if capQ < 0 {
+		return Solution{}
+	}
+	type qItem struct {
+		idx int
+		w   int
+		p   float64
+	}
+	var qItems []qItem
+	var free []int // zero-weight items are always packed
+	sumQ := 0
+	for i, it := range items {
+		if !usable(it, capacity) {
+			continue
+		}
+		w := int(math.Ceil(it.Weight/quantum - 1e-9))
+		if w == 0 {
+			free = append(free, i)
+			continue
+		}
+		if w > capQ {
+			continue
+		}
+		qItems = append(qItems, qItem{i, w, it.Profit})
+		sumQ += w
+	}
+	// The DP table never needs more capacity than all usable items weigh
+	// in quantized units — this keeps the table small when the stored
+	// energy budget far exceeds what a visibility window can spend.
+	if capQ > sumQ {
+		capQ = sumQ
+	}
+	// dp[w] = best profit using weight exactly ≤ w; choice tracking via
+	// parent bitset per item layer would cost O(n·W) memory, so store the
+	// picked-set via a compact predecessor table.
+	dp := make([]float64, capQ+1)
+	pick := make([][]bool, len(qItems))
+	for k, qi := range qItems {
+		row := make([]bool, capQ+1)
+		for w := capQ; w >= qi.w; w-- {
+			if cand := dp[w-qi.w] + qi.p; cand > dp[w] {
+				dp[w] = cand
+				row[w] = true
+			}
+		}
+		pick[k] = row
+	}
+	// Trace back.
+	w := capQ
+	var picked []int
+	for k := len(qItems) - 1; k >= 0; k-- {
+		if pick[k][w] {
+			picked = append(picked, qItems[k].idx)
+			w -= qItems[k].w
+		}
+	}
+	picked = append(picked, free...)
+	return finish(items, picked)
+}
+
+// FPTAS returns a solver with profit guarantee ≥ (1−ε)·OPT using Lawler's
+// profit-scaling dynamic program: profits are scaled by K = ε·pmax/n and the
+// DP minimizes weight per scaled-profit total. Runtime O(n²·⌈n/ε⌉) in the
+// worst case, tiny for the per-sensor instances here.
+func FPTAS(eps float64) Solver {
+	if eps <= 0 || eps >= 1 {
+		panic("knapsack: FPTAS epsilon must be in (0,1)")
+	}
+	return func(items []Item, capacity float64) Solution {
+		idxs := make([]int, 0, len(items))
+		pmax := 0.0
+		for i, it := range items {
+			if usable(it, capacity) {
+				idxs = append(idxs, i)
+				if it.Profit > pmax {
+					pmax = it.Profit
+				}
+			}
+		}
+		if len(idxs) == 0 {
+			return Solution{}
+		}
+		n := len(idxs)
+		k := eps * pmax / float64(n)
+		// Scaled profits; each ≤ n/ε.
+		scaled := make([]int, n)
+		maxTotal := 0
+		for j, i := range idxs {
+			scaled[j] = int(math.Floor(items[i].Profit / k))
+			maxTotal += scaled[j]
+		}
+		const inf = math.MaxFloat64
+		// minW[q] = minimal weight achieving scaled profit exactly q.
+		minW := make([]float64, maxTotal+1)
+		choice := make([][]bool, n)
+		for q := 1; q <= maxTotal; q++ {
+			minW[q] = inf
+		}
+		for j, i := range idxs {
+			row := make([]bool, maxTotal+1)
+			w := items[i].Weight
+			for q := maxTotal; q >= scaled[j]; q-- {
+				if minW[q-scaled[j]] < inf {
+					if cand := minW[q-scaled[j]] + w; cand < minW[q] {
+						minW[q] = cand
+						row[q] = true
+					}
+				}
+			}
+			choice[j] = row
+		}
+		bestQ := 0
+		for q := maxTotal; q > 0; q-- {
+			if minW[q] <= capacity {
+				bestQ = q
+				break
+			}
+		}
+		var picked []int
+		q := bestQ
+		for j := n - 1; j >= 0 && q > 0; j-- {
+			if choice[j][q] {
+				picked = append(picked, idxs[j])
+				q -= scaled[j]
+			}
+		}
+		return finish(items, picked)
+	}
+}

@@ -1,0 +1,265 @@
+package knapsack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteForce enumerates all subsets — ground truth for small instances.
+func bruteForce(items []Item, capacity float64) Solution {
+	n := len(items)
+	best := Solution{}
+	for mask := 0; mask < 1<<n; mask++ {
+		var w, p float64
+		var picked []int
+		ok := true
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			if items[i].Profit <= 0 || items[i].Weight < 0 {
+				ok = false
+				break
+			}
+			w += items[i].Weight
+			p += items[i].Profit
+			picked = append(picked, i)
+		}
+		if ok && w <= capacity && p > best.Profit {
+			best = Solution{Picked: picked, Profit: p, Weight: w}
+		}
+	}
+	return best
+}
+
+func randItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Profit: math.Floor(rng.Float64()*1000) / 10,
+			Weight: math.Floor(rng.Float64()*500) / 10,
+		}
+	}
+	return items
+}
+
+func checkFeasible(t *testing.T, name string, items []Item, capacity float64, s Solution) {
+	t.Helper()
+	var w, p float64
+	seen := map[int]bool{}
+	for _, i := range s.Picked {
+		if i < 0 || i >= len(items) {
+			t.Fatalf("%s: index %d out of range", name, i)
+		}
+		if seen[i] {
+			t.Fatalf("%s: duplicate index %d", name, i)
+		}
+		seen[i] = true
+		w += items[i].Weight
+		p += items[i].Profit
+	}
+	if w > capacity+1e-9 {
+		t.Fatalf("%s: infeasible weight %v > %v", name, w, capacity)
+	}
+	if math.Abs(w-s.Weight) > 1e-9 || math.Abs(p-s.Profit) > 1e-9 {
+		t.Fatalf("%s: reported (p=%v,w=%v) != actual (p=%v,w=%v)", name, s.Profit, s.Weight, p, w)
+	}
+}
+
+func TestSolversOnKnownInstance(t *testing.T) {
+	items := []Item{
+		{Profit: 60, Weight: 10},
+		{Profit: 100, Weight: 20},
+		{Profit: 120, Weight: 30},
+	}
+	const capacity = 50
+	want := 220.0 // items 1+2
+	for name, solve := range map[string]Solver{
+		"bb":    BranchAndBound,
+		"dp":    func(it []Item, c float64) Solution { return DP(it, c, 0.5) },
+		"fptas": FPTAS(0.01),
+	} {
+		s := solve(items, capacity)
+		checkFeasible(t, name, items, capacity, s)
+		if s.Profit != want {
+			t.Errorf("%s: profit = %v, want %v", name, s.Profit, want)
+		}
+	}
+	g := Greedy(items, capacity)
+	checkFeasible(t, "greedy", items, capacity, g)
+	if g.Profit < want/2 {
+		t.Errorf("greedy profit %v below half of optimum %v", g.Profit, want)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	for name, solve := range map[string]Solver{
+		"greedy": Greedy,
+		"bb":     BranchAndBound,
+		"dp":     func(it []Item, c float64) Solution { return DP(it, c, 1e-3) },
+		"fptas":  FPTAS(0.3),
+	} {
+		if s := solve(nil, 10); len(s.Picked) != 0 || s.Profit != 0 {
+			t.Errorf("%s: nil items must give empty solution, got %+v", name, s)
+		}
+		// All items unusable: zero/negative profit, or too heavy.
+		items := []Item{{Profit: 0, Weight: 1}, {Profit: -5, Weight: 1}, {Profit: 10, Weight: 99}}
+		if s := solve(items, 50); len(s.Picked) != 0 {
+			t.Errorf("%s: unusable items must not be picked, got %+v", name, s)
+		}
+		// Zero-weight positive-profit item must always be packed by exact
+		// solvers; greedy also picks it (infinite density).
+		items2 := []Item{{Profit: 5, Weight: 0}, {Profit: 10, Weight: 10}}
+		s := solve(items2, 10)
+		checkFeasible(t, name, items2, 10, s)
+		if name != "fptas" && s.Profit != 15 {
+			t.Errorf("%s: profit = %v, want 15", name, s.Profit)
+		}
+		if name == "fptas" && s.Profit < 15*0.7 {
+			t.Errorf("fptas: profit = %v, want >= %v", s.Profit, 15*0.7)
+		}
+		// Zero capacity: only zero-weight items fit.
+		s = solve(items2, 0)
+		checkFeasible(t, name, items2, 0, s)
+	}
+}
+
+func TestExactSolversMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(10)
+		items := randItems(rng, n)
+		capacity := rng.Float64() * 150
+		want := bruteForce(items, capacity)
+		bb := BranchAndBound(items, capacity)
+		checkFeasible(t, "bb", items, capacity, bb)
+		if math.Abs(bb.Profit-want.Profit) > 1e-9 {
+			t.Fatalf("trial %d: bb profit %v != optimum %v (items=%v cap=%v)",
+				trial, bb.Profit, want.Profit, items, capacity)
+		}
+		dp := DP(items, capacity, 0.1) // weights are multiples of 0.1
+		checkFeasible(t, "dp", items, capacity, dp)
+		if math.Abs(dp.Profit-want.Profit) > 1e-9 {
+			t.Fatalf("trial %d: dp profit %v != optimum %v (items=%v cap=%v)",
+				trial, dp.Profit, want.Profit, items, capacity)
+		}
+	}
+}
+
+func TestGreedyHalfApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(12)
+		items := randItems(rng, n)
+		capacity := rng.Float64() * 150
+		opt := BranchAndBound(items, capacity)
+		g := Greedy(items, capacity)
+		checkFeasible(t, "greedy", items, capacity, g)
+		if g.Profit < opt.Profit/2-1e-9 {
+			t.Fatalf("trial %d: greedy %v < OPT/2 = %v", trial, g.Profit, opt.Profit/2)
+		}
+	}
+}
+
+func TestFPTASGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, eps := range []float64{0.1, 0.3, 0.5} {
+		solve := FPTAS(eps)
+		for trial := 0; trial < 100; trial++ {
+			n := 1 + rng.Intn(12)
+			items := randItems(rng, n)
+			capacity := rng.Float64() * 150
+			opt := BranchAndBound(items, capacity)
+			s := solve(items, capacity)
+			checkFeasible(t, "fptas", items, capacity, s)
+			if s.Profit < (1-eps)*opt.Profit-1e-9 {
+				t.Fatalf("eps=%v trial %d: fptas %v < (1-eps)*OPT = %v",
+					eps, trial, s.Profit, (1-eps)*opt.Profit)
+			}
+		}
+	}
+}
+
+func TestFPTASPanicsOnBadEps(t *testing.T) {
+	for _, eps := range []float64{0, -0.5, 1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FPTAS(%v) must panic", eps)
+				}
+			}()
+			FPTAS(eps)
+		}()
+	}
+}
+
+func TestDPQuantizationIsConservative(t *testing.T) {
+	// Coarse quantum must still give a feasible (if suboptimal) packing.
+	items := []Item{{Profit: 10, Weight: 3.3}, {Profit: 10, Weight: 3.3}, {Profit: 10, Weight: 3.3}}
+	s := DP(items, 10, 1.0) // weights round up to 4, cap 10 → 2 items
+	checkFeasible(t, "dp-coarse", items, 10, s)
+	if len(s.Picked) != 2 {
+		t.Errorf("coarse DP picked %d items, want 2 (conservative rounding)", len(s.Picked))
+	}
+	s = DP(items, 10, 0.1) // exact: 3 items fit (9.9 <= 10)
+	if len(s.Picked) != 3 {
+		t.Errorf("fine DP picked %d items, want 3", len(s.Picked))
+	}
+	// Non-positive quantum falls back to a tiny default.
+	s = DP(items, 10, 0)
+	checkFeasible(t, "dp-defaultq", items, 10, s)
+	if len(s.Picked) != 3 {
+		t.Errorf("default-quantum DP picked %d, want 3", len(s.Picked))
+	}
+}
+
+func TestLargeUniformWeights(t *testing.T) {
+	// Mirrors the fixed-power special case: all weights equal, solver must
+	// pick the k most profitable items.
+	items := make([]Item, 40)
+	for i := range items {
+		items[i] = Item{Profit: float64(i + 1), Weight: 2}
+	}
+	capacity := 10.0 // exactly 5 items
+	for name, solve := range map[string]Solver{
+		"bb": BranchAndBound, "greedy": Greedy,
+		"dp":    func(it []Item, c float64) Solution { return DP(it, c, 1) },
+		"fptas": FPTAS(0.05),
+	} {
+		s := solve(items, capacity)
+		checkFeasible(t, name, items, capacity, s)
+		want := 40.0 + 39 + 38 + 37 + 36
+		if name == "fptas" {
+			if s.Profit < 0.95*want {
+				t.Errorf("%s profit %v < 0.95·%v", name, s.Profit, want)
+			}
+		} else if s.Profit != want {
+			t.Errorf("%s profit = %v, want %v", name, s.Profit, want)
+		}
+	}
+}
+
+func BenchmarkBranchAndBound80(b *testing.B) { benchSolver(b, BranchAndBound, 80) }
+func BenchmarkGreedy80(b *testing.B)         { benchSolver(b, Greedy, 80) }
+func BenchmarkFPTAS80(b *testing.B)          { benchSolver(b, FPTAS(0.2), 80) }
+func BenchmarkDP80(b *testing.B) {
+	benchSolver(b, func(it []Item, c float64) Solution { return DP(it, c, 0.01) }, 80)
+}
+
+// benchSolver mimics a per-sensor instance: |A(v)| = 2Γ = 80 slots, 4 power
+// tiers, tight energy budget.
+func benchSolver(b *testing.B, solve Solver, n int) {
+	rng := rand.New(rand.NewSource(1))
+	items := make([]Item, n)
+	weights := []float64{0.17, 0.22, 0.30, 0.33}
+	rates := []float64{250e3, 19.2e3, 9.6e3, 4.8e3}
+	for i := range items {
+		k := rng.Intn(4)
+		items[i] = Item{Profit: rates[k], Weight: weights[k]}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solve(items, 2.0)
+	}
+}

@@ -1,0 +1,138 @@
+package lagrange
+
+import (
+	"math/rand"
+	"testing"
+
+	"mobisink/internal/core"
+	"mobisink/internal/energy"
+	"mobisink/internal/gap"
+	"mobisink/internal/geom"
+	"mobisink/internal/network"
+	"mobisink/internal/radio"
+)
+
+func tinyInstance(t *testing.T, n int, seed int64, budget float64) *core.Instance {
+	t.Helper()
+	d, err := network.Generate(network.Params{N: n, PathLength: 300, MaxOffset: 100, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d.SetUniformBudgets(budget)
+	inst, err := core.BuildInstance(d, radio.Paper2013(), 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func optimum(t *testing.T, inst *core.Instance) (float64, bool) {
+	t.Helper()
+	g := &gap.Instance{NumItems: inst.T}
+	for i := range inst.Sensors {
+		s := &inst.Sensors[i]
+		bin := gap.Bin{Capacity: s.Budget}
+		for j := s.Start; s.Start >= 0 && j <= s.End; j++ {
+			if s.RateAt(j) > 0 && s.PowerAt(j) > 0 {
+				bin.Entries = append(bin.Entries, gap.Entry{
+					Item: j, Profit: s.RateAt(j) * inst.Tau, Weight: s.PowerAt(j) * inst.Tau,
+				})
+			}
+		}
+		g.Bins = append(g.Bins, bin)
+	}
+	opt, err := gap.Exhaustive(g, 1<<26)
+	if err != nil {
+		return 0, false
+	}
+	return opt.Profit, true
+}
+
+func TestUpperBoundNil(t *testing.T) {
+	if _, err := UpperBound(nil, Options{}); err == nil {
+		t.Error("expected nil error")
+	}
+}
+
+func TestBoundDominatesOptimum(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		inst := tinyInstance(t, 3, seed, 0.7)
+		res, err := UpperBound(inst, Options{Iterations: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, ok := optimum(t, inst)
+		if !ok {
+			continue
+		}
+		if res.Bound < opt-1e-6 {
+			t.Fatalf("seed %d: lagrangian bound %v below OPT %v", seed, res.Bound, opt)
+		}
+		if res.Bound > res.Initial+1e-6 {
+			t.Fatalf("seed %d: best bound %v above initial %v", seed, res.Bound, res.Initial)
+		}
+	}
+}
+
+// On competitive instances the subgradient loop must tighten the bound
+// noticeably below both the λ=0 dual and core.UpperBound.
+func TestBoundTightensAtScale(t *testing.T) {
+	dep, err := network.Generate(network.PaperParams(150, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	sun := energy.PaperSolar(energy.Sunny)
+	if err := dep.AssignSteadyStateBudgets(sun, 3*2000, 0.5, rng); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := core.BuildInstance(dep, radio.Paper2013(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := UpperBound(inst, Options{Iterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bound >= res.Initial {
+		t.Errorf("no tightening: best %v vs initial %v", res.Bound, res.Initial)
+	}
+	ap, err := core.OfflineAppro(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bound < ap.Data-1e-6 {
+		t.Fatalf("bound %v below a feasible solution %v", res.Bound, ap.Data)
+	}
+	// The dual should certify the approximation much tighter than the
+	// naive bound does.
+	naiveFrac := ap.Data / inst.UpperBound()
+	dualFrac := ap.Data / res.Bound
+	if dualFrac < naiveFrac-1e-9 {
+		t.Errorf("dual bound looser than naive: %v vs %v", dualFrac, naiveFrac)
+	}
+	if dualFrac < 0.5 {
+		t.Errorf("certified fraction %v suspiciously low", dualFrac)
+	}
+}
+
+func TestEmptyInstanceBound(t *testing.T) {
+	// A sensor with zero budget: entries exist but knapsacks return
+	// nothing; the bound must still be finite and non-negative.
+	dep := &network.Deployment{PathLength: 1000, MaxOffset: 0, Sensors: []network.Sensor{
+		{ID: 0, Pos: geom.Point{X: 500, Y: 0}, Budget: 0},
+	}}
+	inst, err := core.BuildInstance(dep, radio.Paper2013(), 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero budgets: entries exist but knapsacks return nothing; bound must
+	// still be finite and non-negative.
+	res, err := UpperBound(inst, Options{Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bound < 0 {
+		t.Errorf("negative bound %v", res.Bound)
+	}
+}

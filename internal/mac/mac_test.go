@@ -1,0 +1,131 @@
+package mac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SlottedAloha(-1, 8, rng); err == nil {
+		t.Error("expected negative-n error")
+	}
+	if _, err := SlottedAloha(5, 0, rng); err == nil {
+		t.Error("expected window error")
+	}
+	if _, err := SlottedAloha(5, 8, nil); err == nil {
+		t.Error("expected rng error")
+	}
+	if _, err := CSMAWindow(5, 0, rng); err == nil {
+		t.Error("expected window error")
+	}
+	if _, err := ExpectedRegistrations(5, 8, 0, 1); err == nil {
+		t.Error("expected trials error")
+	}
+}
+
+func TestAlohaMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n, w, trials = 10, 16, 20000
+	succ := 0
+	for i := 0; i < trials; i++ {
+		ok, err := SlottedAloha(n, w, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range ok {
+			if s {
+				succ++
+			}
+		}
+	}
+	got := float64(succ) / float64(trials*n)
+	want := AlohaSuccessProb(n, w)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("empirical %v vs analytic %v", got, want)
+	}
+}
+
+func TestAlohaSuccessProbEdge(t *testing.T) {
+	if AlohaSuccessProb(1, 8) != 1 {
+		t.Error("single contender always succeeds")
+	}
+	if AlohaSuccessProb(0, 8) != 0 || AlohaSuccessProb(5, 0) != 0 {
+		t.Error("degenerate inputs must give 0")
+	}
+	// Larger window → higher success.
+	if AlohaSuccessProb(10, 32) <= AlohaSuccessProb(10, 8) {
+		t.Error("success must grow with window")
+	}
+}
+
+func TestCSMABeatsAlohaWhenSparse(t *testing.T) {
+	// With a generous window, retrying colliders must register more
+	// contenders than one-shot slotted ALOHA.
+	rng := rand.New(rand.NewSource(3))
+	const n, w, trials = 8, 64, 5000
+	alohaTotal, csmaTotal := 0, 0
+	for i := 0; i < trials; i++ {
+		a, _ := SlottedAloha(n, w, rng)
+		c, _ := CSMAWindow(n, w, rng)
+		for k := 0; k < n; k++ {
+			if a[k] {
+				alohaTotal++
+			}
+			if c[k] {
+				csmaTotal++
+			}
+		}
+	}
+	if csmaTotal <= alohaTotal {
+		t.Errorf("sparse regime: CSMA %d not above ALOHA %d", csmaTotal, alohaTotal)
+	}
+}
+
+func TestCSMAWindowBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// n = 0: empty mask.
+	ok, err := CSMAWindow(0, 8, rng)
+	if err != nil || len(ok) != 0 {
+		t.Fatalf("empty contention: %v %v", ok, err)
+	}
+	// One contender always succeeds.
+	for i := 0; i < 50; i++ {
+		ok, _ := CSMAWindow(1, 4, rng)
+		if !ok[0] {
+			t.Fatal("single contender must register")
+		}
+	}
+	// Huge window: nearly everyone succeeds.
+	succ := 0
+	const n = 10
+	for i := 0; i < 200; i++ {
+		ok, _ := CSMAWindow(n, 4096, rng)
+		for _, s := range ok {
+			if s {
+				succ++
+			}
+		}
+	}
+	if frac := float64(succ) / (200 * n); frac < 0.98 {
+		t.Errorf("large-window success fraction %v", frac)
+	}
+}
+
+func TestExpectedRegistrationsMonotone(t *testing.T) {
+	small, err := ExpectedRegistrations(12, 4, 3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := ExpectedRegistrations(12, 64, 3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large <= small {
+		t.Errorf("registrations must grow with window: %v vs %v", small, large)
+	}
+	if large > 12 {
+		t.Errorf("cannot register more than n: %v", large)
+	}
+}

@@ -1,0 +1,23 @@
+package matching_test
+
+import (
+	"fmt"
+
+	"mobisink/internal/matching"
+)
+
+// Two sensors compete for three time slots; the first may take two slots
+// (it has energy for two transmissions — the paper's n'_i copies).
+func ExampleGraph_MaxWeight() {
+	g, _ := matching.NewGraph(2, 3)
+	_ = g.SetLeftCap(0, 2)
+	_ = g.AddEdge(0, 0, 250) // sensor 0 near the sink in slots 0-1
+	_ = g.AddEdge(0, 1, 250)
+	_ = g.AddEdge(0, 2, 19.2)
+	_ = g.AddEdge(1, 1, 9.6)
+	_ = g.AddEdge(1, 2, 250) // sensor 1 near in slot 2
+
+	res := g.MaxWeight()
+	fmt.Printf("weight=%.1f owners=%v\n", res.Weight, res.RightMatch)
+	// Output: weight=750.0 owners=[0 0 1]
+}

@@ -1,0 +1,480 @@
+// Package matching provides maximum-weight bipartite matching, the engine of
+// the special-case algorithms Offline_MaxMatch and Online_MaxMatch
+// (paper §VI).
+//
+// The paper forms a bipartite graph G' with n'_i identical copies of each
+// sensor node and runs a maximum weight matching. Identical copies are
+// equivalent to a degree constraint, so the production solver here is a
+// min-cost max-flow (successive shortest augmenting paths with Dijkstra and
+// Johnson potentials) over the *uncopied* graph with per-left-node
+// capacities — the same optimum, without inflating the node count. A classic
+// O(n³) Hungarian algorithm and Hopcroft–Karp maximum-cardinality matching
+// are provided for cross-validation and tests.
+package matching
+
+import (
+	"fmt"
+	"math"
+)
+
+// Graph is a bipartite graph with nL left nodes (sensors), nR right nodes
+// (time slots), per-left-node integer capacities, and weighted edges.
+type Graph struct {
+	nL, nR  int
+	leftCap []int
+	edges   []edge // as added
+}
+
+type edge struct {
+	l, r int
+	w    float64
+}
+
+// NewGraph creates a bipartite graph; every left node starts with capacity 1.
+func NewGraph(nl, nr int) (*Graph, error) {
+	if nl < 0 || nr < 0 {
+		return nil, fmt.Errorf("matching: negative side size (%d, %d)", nl, nr)
+	}
+	caps := make([]int, nl)
+	for i := range caps {
+		caps[i] = 1
+	}
+	return &Graph{nL: nl, nR: nr, leftCap: caps}, nil
+}
+
+// SetLeftCap sets the degree capacity of left node l (the paper's n'_i
+// sensor copies).
+func (g *Graph) SetLeftCap(l, c int) error {
+	if l < 0 || l >= g.nL {
+		return fmt.Errorf("matching: left node %d out of range", l)
+	}
+	if c < 0 {
+		return fmt.Errorf("matching: negative capacity %d", c)
+	}
+	g.leftCap[l] = c
+	return nil
+}
+
+// AddEdge adds an edge between left node l and right node r with weight w.
+// Non-positive-weight edges are legal but never matched.
+func (g *Graph) AddEdge(l, r int, w float64) error {
+	if l < 0 || l >= g.nL || r < 0 || r >= g.nR {
+		return fmt.Errorf("matching: edge (%d,%d) out of range (%d×%d)", l, r, g.nL, g.nR)
+	}
+	g.edges = append(g.edges, edge{l, r, w})
+	return nil
+}
+
+// Result is a maximum-weight degree-constrained matching.
+type Result struct {
+	// RightMatch[r] is the left node matched to right node r, or -1.
+	RightMatch []int
+	// LeftDegree[l] is the number of right nodes matched to left node l.
+	LeftDegree []int
+	// Weight is the total weight of matched edges.
+	Weight float64
+}
+
+// MaxWeight computes a maximum-weight matching respecting left capacities
+// via successive shortest augmenting paths. Runtime O(F·(E log V)) where F
+// is the matching size.
+func (g *Graph) MaxWeight() *Result {
+	// Flow network node ids: 0 = source, 1..nL = left, nL+1..nL+nR = right,
+	// nL+nR+1 = sink.
+	n := g.nL + g.nR + 2
+	src, snk := 0, n-1
+	f := newFlow(n)
+	for l, c := range g.leftCap {
+		if c > 0 {
+			f.addArc(src, 1+l, c, 0)
+		}
+	}
+	for _, e := range g.edges {
+		if e.w > 0 {
+			f.addArc(1+e.l, 1+g.nL+e.r, 1, -e.w)
+		}
+	}
+	for r := 0; r < g.nR; r++ {
+		f.addArc(1+g.nL+r, snk, 1, 0)
+	}
+	f.solve(src, snk)
+
+	res := &Result{
+		RightMatch: make([]int, g.nR),
+		LeftDegree: make([]int, g.nL),
+	}
+	for r := range res.RightMatch {
+		res.RightMatch[r] = -1
+	}
+	// Recover matched edges: left→right arcs with flow.
+	for l := 0; l < g.nL; l++ {
+		for _, ai := range f.adj[1+l] {
+			a := &f.arcs[ai]
+			if a.to > g.nL && a.to < snk && a.flow > 0 {
+				r := a.to - 1 - g.nL
+				res.RightMatch[r] = l
+				res.LeftDegree[l]++
+				res.Weight += -a.cost
+			}
+		}
+	}
+	return res
+}
+
+// flow is a small min-cost max-flow solver with float64 costs, successive
+// shortest paths, and Johnson potentials (first potentials via DAG order —
+// the network source→left→right→sink is acyclic).
+type flow struct {
+	adj  [][]int
+	arcs []arc
+	pot  []float64
+}
+
+type arc struct {
+	to        int
+	cap, flow int
+	cost      float64
+}
+
+func newFlow(n int) *flow {
+	return &flow{adj: make([][]int, n), pot: make([]float64, n)}
+}
+
+func (f *flow) addArc(u, v, capacity int, cost float64) {
+	f.adj[u] = append(f.adj[u], len(f.arcs))
+	f.arcs = append(f.arcs, arc{to: v, cap: capacity, cost: cost})
+	f.adj[v] = append(f.adj[v], len(f.arcs))
+	f.arcs = append(f.arcs, arc{to: u, cap: 0, cost: -cost})
+}
+
+type pqItem struct {
+	node int
+	dist float64
+}
+
+// pq is a plain binary min-heap over pqItem, avoiding the interface boxing
+// of container/heap in the hot augmentation loop.
+type pq struct {
+	items []pqItem
+}
+
+func (q *pq) push(it pqItem) {
+	q.items = append(q.items, it)
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.items[parent].dist <= q.items[i].dist {
+			break
+		}
+		q.items[parent], q.items[i] = q.items[i], q.items[parent]
+		i = parent
+	}
+}
+
+func (q *pq) pop() pqItem {
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && q.items[l].dist < q.items[small].dist {
+			small = l
+		}
+		if r < last && q.items[r].dist < q.items[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q.items[i], q.items[small] = q.items[small], q.items[i]
+		i = small
+	}
+	return top
+}
+
+func (q *pq) empty() bool { return len(q.items) == 0 }
+
+func (q *pq) reset() { q.items = q.items[:0] }
+
+const eps = 1e-9
+
+// initPotentials runs one Bellman-Ford-style relaxation sweep set; the
+// network is a DAG (source < left < right < sink in node order and all
+// positive-capacity arcs go forward), so a single pass in node order
+// suffices.
+func (f *flow) initPotentials(src int) {
+	for i := range f.pot {
+		f.pot[i] = math.Inf(1)
+	}
+	f.pot[src] = 0
+	for u := 0; u < len(f.adj); u++ {
+		if math.IsInf(f.pot[u], 1) {
+			continue
+		}
+		for _, ai := range f.adj[u] {
+			a := f.arcs[ai]
+			if a.cap > a.flow && f.pot[u]+a.cost < f.pot[a.to] {
+				f.pot[a.to] = f.pot[u] + a.cost
+			}
+		}
+	}
+	for i := range f.pot {
+		if math.IsInf(f.pot[i], 1) {
+			f.pot[i] = 0
+		}
+	}
+}
+
+// solve augments along minimum-cost paths while the path cost is negative
+// (every augmentation increases matched weight).
+func (f *flow) solve(src, snk int) {
+	f.initPotentials(src)
+	n := len(f.adj)
+	dist := make([]float64, n)
+	prevArc := make([]int, n)
+	done := make([]bool, n)
+	var q pq
+	for {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevArc[i] = -1
+			done[i] = false
+		}
+		dist[src] = 0
+		q.reset()
+		q.push(pqItem{src, 0})
+		for !q.empty() {
+			it := q.pop()
+			if done[it.node] {
+				continue
+			}
+			done[it.node] = true
+			if it.node == snk {
+				break // shortest path to sink settled; stop early
+			}
+			for _, ai := range f.adj[it.node] {
+				a := f.arcs[ai]
+				if a.cap <= a.flow || done[a.to] {
+					continue
+				}
+				rc := a.cost + f.pot[it.node] - f.pot[a.to]
+				if rc < 0 {
+					rc = 0 // float noise; true reduced costs are ≥ 0
+				}
+				nd := dist[it.node] + rc
+				if nd+eps < dist[a.to] {
+					dist[a.to] = nd
+					prevArc[a.to] = ai
+					q.push(pqItem{a.to, nd})
+				}
+			}
+		}
+		if math.IsInf(dist[snk], 1) {
+			return // no augmenting path at all
+		}
+		// True path cost = dist + pot difference.
+		pathCost := dist[snk] + f.pot[snk] - f.pot[src]
+		if pathCost >= -eps {
+			return // augmenting further would not increase weight
+		}
+		// Update potentials; unsettled nodes clamp at dist[snk], which
+		// keeps all reduced costs non-negative after early termination.
+		for i := range f.pot {
+			d := dist[i]
+			if d > dist[snk] {
+				d = dist[snk]
+			}
+			f.pot[i] += d
+		}
+		// Augment one unit along the path.
+		for v := snk; v != src; {
+			ai := prevArc[v]
+			f.arcs[ai].flow++
+			f.arcs[ai^1].flow--
+			v = f.arcs[ai^1].to
+		}
+	}
+}
+
+// Hungarian computes a maximum-weight (not necessarily perfect) matching on
+// a dense weight matrix w[l][r] (weights ≤ 0 mean "no useful edge") with
+// unit capacities, via the O(n³) potential-based algorithm on the padded
+// square matrix. Returns per-left matches (index into right side or -1) and
+// the total weight. Intended for validation and small per-interval
+// schedules.
+func Hungarian(w [][]float64) ([]int, float64, error) {
+	nl := len(w)
+	nr := 0
+	for _, row := range w {
+		if len(row) > nr {
+			nr = len(row)
+		}
+	}
+	for i, row := range w {
+		if len(row) != nr && len(row) != 0 {
+			return nil, 0, fmt.Errorf("matching: ragged weight matrix at row %d", i)
+		}
+	}
+	n := nl
+	if nr > n {
+		n = nr
+	}
+	if n == 0 {
+		return nil, 0, nil
+	}
+	// Build a square min-cost matrix: cost = -max(w, 0); dummy cells cost 0.
+	cost := make([][]float64, n+1)
+	for i := range cost {
+		cost[i] = make([]float64, n+1)
+	}
+	for i := 0; i < nl; i++ {
+		for j := 0; j < len(w[i]); j++ {
+			if w[i][j] > 0 {
+				cost[i+1][j+1] = -w[i][j]
+			}
+		}
+	}
+	// Classic 1-indexed Hungarian with potentials u, v.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0][j] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	matchL := make([]int, nl)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	total := 0.0
+	for j := 1; j <= n; j++ {
+		i := p[j]
+		if i == 0 || i > nl || j > nr {
+			continue
+		}
+		if len(w[i-1]) >= j && w[i-1][j-1] > 0 && cost[i][j] < 0 {
+			matchL[i-1] = j - 1
+			total += w[i-1][j-1]
+		}
+	}
+	return matchL, total, nil
+}
+
+// HopcroftKarp computes a maximum-cardinality matching for unit-capacity
+// bipartite graphs given as left-side adjacency lists. Returns per-left
+// matches (right index or -1) and the matching size. O(E√V).
+func HopcroftKarp(adjL [][]int, nr int) ([]int, int, error) {
+	nl := len(adjL)
+	for l, adj := range adjL {
+		for _, r := range adj {
+			if r < 0 || r >= nr {
+				return nil, 0, fmt.Errorf("matching: left %d lists right %d out of range", l, r)
+			}
+		}
+	}
+	const infd = math.MaxInt32
+	matchL := make([]int, nl)
+	matchR := make([]int, nr)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, nl)
+	queue := make([]int, 0, nl)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for l := 0; l < nl; l++ {
+			if matchL[l] == -1 {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = infd
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			l := queue[head]
+			for _, r := range adjL[l] {
+				l2 := matchR[r]
+				if l2 == -1 {
+					found = true
+				} else if dist[l2] == infd {
+					dist[l2] = dist[l] + 1
+					queue = append(queue, l2)
+				}
+			}
+		}
+		return found
+	}
+	var dfs func(l int) bool
+	dfs = func(l int) bool {
+		for _, r := range adjL[l] {
+			l2 := matchR[r]
+			if l2 == -1 || (dist[l2] == dist[l]+1 && dfs(l2)) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = infd
+		return false
+	}
+	size := 0
+	for bfs() {
+		for l := 0; l < nl; l++ {
+			if matchL[l] == -1 && dfs(l) {
+				size++
+			}
+		}
+	}
+	return matchL, size, nil
+}

@@ -1,0 +1,386 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteMaxWeight enumerates degree-constrained matchings on tiny graphs.
+func bruteMaxWeight(nl, nr int, leftCap []int, edges [][3]float64) float64 {
+	best := 0.0
+	// Each right node picks one of its incident edges or none.
+	incident := make([][]int, nr)
+	for ei, e := range edges {
+		incident[int(e[1])] = append(incident[int(e[1])], ei)
+	}
+	deg := make([]int, nl)
+	var dfs func(r int, w float64)
+	dfs = func(r int, w float64) {
+		if w > best {
+			best = w
+		}
+		if r == nr {
+			return
+		}
+		dfs(r+1, w) // leave r unmatched
+		for _, ei := range incident[r] {
+			l := int(edges[ei][0])
+			if deg[l] < leftCap[l] && edges[ei][2] > 0 {
+				deg[l]++
+				dfs(r+1, w+edges[ei][2])
+				deg[l]--
+			}
+		}
+	}
+	dfs(0, 0)
+	return best
+}
+
+func TestNewGraphValidation(t *testing.T) {
+	if _, err := NewGraph(-1, 2); err == nil {
+		t.Error("expected error for negative size")
+	}
+	g, err := NewGraph(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 0, 1); err == nil {
+		t.Error("expected range error")
+	}
+	if err := g.AddEdge(0, -1, 1); err == nil {
+		t.Error("expected range error")
+	}
+	if err := g.SetLeftCap(5, 1); err == nil {
+		t.Error("expected range error")
+	}
+	if err := g.SetLeftCap(0, -1); err == nil {
+		t.Error("expected negative-capacity error")
+	}
+}
+
+func TestMaxWeightSimple(t *testing.T) {
+	g, _ := NewGraph(2, 2)
+	mustAdd(t, g, 0, 0, 10)
+	mustAdd(t, g, 0, 1, 2)
+	mustAdd(t, g, 1, 0, 8)
+	mustAdd(t, g, 1, 1, 7)
+	res := g.MaxWeight()
+	if res.Weight != 17 { // 0-0 (10) + 1-1 (7)
+		t.Fatalf("weight = %v, want 17", res.Weight)
+	}
+	if res.RightMatch[0] != 0 || res.RightMatch[1] != 1 {
+		t.Errorf("matches = %v", res.RightMatch)
+	}
+	if res.LeftDegree[0] != 1 || res.LeftDegree[1] != 1 {
+		t.Errorf("degrees = %v", res.LeftDegree)
+	}
+}
+
+func TestMaxWeightSkipsBadEdges(t *testing.T) {
+	g, _ := NewGraph(1, 2)
+	mustAdd(t, g, 0, 0, -5)
+	mustAdd(t, g, 0, 1, 0)
+	res := g.MaxWeight()
+	if res.Weight != 0 || res.RightMatch[0] != -1 || res.RightMatch[1] != -1 {
+		t.Errorf("non-positive edges must not match: %+v", res)
+	}
+}
+
+func TestMaxWeightCapacities(t *testing.T) {
+	// One sensor with capacity 2 sees three slots.
+	g, _ := NewGraph(1, 3)
+	if err := g.SetLeftCap(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, g, 0, 0, 5)
+	mustAdd(t, g, 0, 1, 9)
+	mustAdd(t, g, 0, 2, 7)
+	res := g.MaxWeight()
+	if res.Weight != 16 { // slots 1 and 2
+		t.Fatalf("weight = %v, want 16", res.Weight)
+	}
+	if res.LeftDegree[0] != 2 {
+		t.Errorf("degree = %d, want 2", res.LeftDegree[0])
+	}
+	// Zero capacity: nothing matched.
+	g2, _ := NewGraph(1, 1)
+	_ = g2.SetLeftCap(0, 0)
+	mustAdd(t, g2, 0, 0, 5)
+	if res := g2.MaxWeight(); res.Weight != 0 {
+		t.Errorf("zero-capacity weight = %v", res.Weight)
+	}
+}
+
+func TestMaxWeightAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		nl := 1 + rng.Intn(4)
+		nr := 1 + rng.Intn(5)
+		caps := make([]int, nl)
+		g, _ := NewGraph(nl, nr)
+		for l := range caps {
+			caps[l] = 1 + rng.Intn(2)
+			_ = g.SetLeftCap(l, caps[l])
+		}
+		var edges [][3]float64
+		for l := 0; l < nl; l++ {
+			for r := 0; r < nr; r++ {
+				if rng.Float64() < 0.6 {
+					w := math.Floor(rng.Float64()*100) / 10
+					edges = append(edges, [3]float64{float64(l), float64(r), w})
+					mustAdd(t, g, l, r, w)
+				}
+			}
+		}
+		want := bruteMaxWeight(nl, nr, caps, edges)
+		res := g.MaxWeight()
+		if math.Abs(res.Weight-want) > 1e-6 {
+			t.Fatalf("trial %d: flow weight %v != brute %v (nl=%d nr=%d edges=%v caps=%v)",
+				trial, res.Weight, want, nl, nr, edges, caps)
+		}
+		validateResult(t, g, res)
+	}
+}
+
+func validateResult(t *testing.T, g *Graph, res *Result) {
+	t.Helper()
+	deg := make([]int, g.nL)
+	total := 0.0
+	for r, l := range res.RightMatch {
+		if l == -1 {
+			continue
+		}
+		found := false
+		for _, e := range g.edges {
+			if e.l == l && e.r == r {
+				total += e.w
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("matched pair (%d,%d) has no edge", l, r)
+		}
+		deg[l]++
+	}
+	for l := range deg {
+		if deg[l] > g.leftCap[l] {
+			t.Fatalf("left %d over capacity: %d > %d", l, deg[l], g.leftCap[l])
+		}
+		if deg[l] != res.LeftDegree[l] {
+			t.Fatalf("left degree mismatch at %d", l)
+		}
+	}
+	if math.Abs(total-res.Weight) > 1e-6 {
+		t.Fatalf("weight mismatch: reported %v actual %v", res.Weight, total)
+	}
+}
+
+func TestHungarianMatchesFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		nl := 1 + rng.Intn(6)
+		nr := 1 + rng.Intn(6)
+		w := make([][]float64, nl)
+		g, _ := NewGraph(nl, nr)
+		for l := 0; l < nl; l++ {
+			w[l] = make([]float64, nr)
+			for r := 0; r < nr; r++ {
+				if rng.Float64() < 0.7 {
+					w[l][r] = math.Floor(rng.Float64()*100) / 10
+					if w[l][r] > 0 {
+						mustAdd(t, g, l, r, w[l][r])
+					}
+				}
+			}
+		}
+		matchL, totalH, err := Hungarian(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := g.MaxWeight()
+		if math.Abs(totalH-res.Weight) > 1e-6 {
+			t.Fatalf("trial %d: hungarian %v != flow %v (w=%v)", trial, totalH, res.Weight, w)
+		}
+		// Validate the Hungarian matching itself.
+		usedR := map[int]bool{}
+		sum := 0.0
+		for l, r := range matchL {
+			if r == -1 {
+				continue
+			}
+			if usedR[r] {
+				t.Fatalf("right node %d matched twice", r)
+			}
+			usedR[r] = true
+			sum += w[l][r]
+		}
+		if math.Abs(sum-totalH) > 1e-6 {
+			t.Fatalf("hungarian reported %v but edges sum to %v", totalH, sum)
+		}
+	}
+}
+
+func TestHungarianEdgeCases(t *testing.T) {
+	m, total, err := Hungarian(nil)
+	if err != nil || len(m) != 0 || total != 0 {
+		t.Errorf("empty: %v %v %v", m, total, err)
+	}
+	if _, _, err := Hungarian([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("expected ragged-matrix error")
+	}
+	// All-nonpositive weights: empty matching.
+	m, total, err = Hungarian([][]float64{{-1, 0}, {0, -2}})
+	if err != nil || total != 0 {
+		t.Errorf("nonpositive: total = %v err = %v", total, err)
+	}
+	for _, r := range m {
+		if r != -1 {
+			t.Error("nonpositive weights must stay unmatched")
+		}
+	}
+}
+
+func TestHopcroftKarp(t *testing.T) {
+	// Perfect matching exists on a 3×3 cycle-ish graph.
+	adj := [][]int{{0, 1}, {1, 2}, {0, 2}}
+	matchL, size, err := HopcroftKarp(adj, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 3 {
+		t.Fatalf("size = %d, want 3", size)
+	}
+	seen := map[int]bool{}
+	for l, r := range matchL {
+		if r == -1 || seen[r] {
+			t.Fatalf("invalid match %v", matchL)
+		}
+		ok := false
+		for _, cand := range adj[l] {
+			if cand == r {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("matched non-edge %d-%d", l, r)
+		}
+		seen[r] = true
+	}
+	// Range validation.
+	if _, _, err := HopcroftKarp([][]int{{5}}, 2); err == nil {
+		t.Error("expected range error")
+	}
+	// Empty graph.
+	if _, size, _ := HopcroftKarp(nil, 0); size != 0 {
+		t.Error("empty graph must have empty matching")
+	}
+}
+
+func TestHopcroftKarpMatchesFlowCardinality(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		nl := 1 + rng.Intn(8)
+		nr := 1 + rng.Intn(8)
+		adj := make([][]int, nl)
+		g, _ := NewGraph(nl, nr)
+		for l := 0; l < nl; l++ {
+			for r := 0; r < nr; r++ {
+				if rng.Float64() < 0.4 {
+					adj[l] = append(adj[l], r)
+					mustAdd(t, g, l, r, 1) // unit weights → max weight = max cardinality
+				}
+			}
+		}
+		_, size, err := HopcroftKarp(adj, nr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := g.MaxWeight()
+		if math.Abs(res.Weight-float64(size)) > 1e-6 {
+			t.Fatalf("trial %d: HK size %d != flow weight %v", trial, size, res.Weight)
+		}
+	}
+}
+
+// Sensor-copy equivalence (paper §VI): capacity c on a left node must equal
+// c identical unit-capacity copies.
+func TestCapacityEqualsCopies(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		nl := 1 + rng.Intn(3)
+		nr := 2 + rng.Intn(5)
+		caps := make([]int, nl)
+		g, _ := NewGraph(nl, nr)
+		var wRows [][]float64
+		for l := 0; l < nl; l++ {
+			caps[l] = 1 + rng.Intn(3)
+			_ = g.SetLeftCap(l, caps[l])
+			row := make([]float64, nr)
+			for r := 0; r < nr; r++ {
+				if rng.Float64() < 0.7 {
+					row[r] = math.Floor(rng.Float64()*50) / 10
+					if row[r] > 0 {
+						mustAdd(t, g, l, r, row[r])
+					}
+				}
+			}
+			for c := 0; c < caps[l]; c++ {
+				wRows = append(wRows, row)
+			}
+		}
+		_, totalCopies, err := Hungarian(wRows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := g.MaxWeight()
+		if math.Abs(totalCopies-res.Weight) > 1e-6 {
+			t.Fatalf("trial %d: copies %v != capacities %v", trial, totalCopies, res.Weight)
+		}
+	}
+}
+
+func mustAdd(t *testing.T, g *Graph, l, r int, w float64) {
+	t.Helper()
+	if err := g.AddEdge(l, r, w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMaxWeightOfflineScale(b *testing.B) {
+	// Offline special case at n=600: ~48k edges, T=2000 slots.
+	rng := rand.New(rand.NewSource(1))
+	nl, nr := 600, 2000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g, _ := NewGraph(nl, nr)
+		for l := 0; l < nl; l++ {
+			_ = g.SetLeftCap(l, 6)
+			start := rng.Intn(nr - 80)
+			for r := start; r < start+80; r++ {
+				_ = g.AddEdge(l, r, rng.Float64()*250)
+			}
+		}
+		b.StartTimer()
+		g.MaxWeight()
+	}
+}
+
+func BenchmarkHungarian100(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	w := make([][]float64, 100)
+	for i := range w {
+		w[i] = make([]float64, 100)
+		for j := range w[i] {
+			w[i][j] = rng.Float64() * 100
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Hungarian(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,512 @@
+// Package online implements the paper's distributed data-collection
+// framework (Algorithm 2) and its two per-interval time-slot schedulers:
+//
+//   - Appro  — the GAP-based scheduler of §V.B (Online_Appro),
+//   - MaxMatch — the matching-based scheduler of §VI for the fixed
+//     transmission power special case (Online_MaxMatch),
+//
+// plus a density-greedy scheduler as a baseline.
+//
+// Per tour the sink divides the T slots into intervals of Γ = ⌊R/(r_s·τ)⌋
+// slots. At each interval start it broadcasts a Probe; sensors currently in
+// range reply with an Ack carrying their profile (position, residual
+// budget, window); when the registration timer expires the sink runs the
+// scheduler over the interval's slots and the registered sensors only,
+// broadcasts the Schedule, collects data, then broadcasts Finish, at which
+// point the registered sensors debit their energy budgets. The sink never
+// learns about sensors it has not probed — that locality is the only
+// difference from the offline algorithms, and Lemma 1 guarantees every
+// sensor is probed in at most two consecutive intervals.
+package online
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mobisink/internal/core"
+	"mobisink/internal/gap"
+	"mobisink/internal/knapsack"
+	"mobisink/internal/mac"
+	"mobisink/internal/matching"
+	"mobisink/internal/sim"
+)
+
+// Registration is the sensor profile carried by an Ack message, as visible
+// to the sink in one interval.
+type Registration struct {
+	Sensor int     // sensor index
+	Budget float64 // residual energy at registration time, J
+	// DataLeft is the residual sensed data still queued at the sensor,
+	// bits; +Inf on instances without data caps.
+	DataLeft float64
+	// ClipStart/ClipEnd is [i'_s, i'_e] = A(v) ∩ interval, inclusive;
+	// ClipStart > ClipEnd when the overlap is empty.
+	ClipStart, ClipEnd int
+}
+
+// Interval describes one probe interval.
+type Interval struct {
+	Index      int // j
+	Start, End int // inclusive slot range [a_j, b_j]
+}
+
+// Scheduler allocates one interval's slots among the registered sensors.
+// Implementations must respect each registration's residual budget and
+// clipped window. The returned map is slot → sensor index.
+type Scheduler interface {
+	Name() string
+	Schedule(inst *core.Instance, iv Interval, regs []Registration) (map[int]int, error)
+}
+
+// MessageStats counts protocol messages per tour.
+type MessageStats struct {
+	Probes    int // broadcast probes (one per interval)
+	Acks      int // sensor acknowledgements
+	Schedules int // broadcast scheduling results
+	Finishes  int // broadcast finish messages
+}
+
+// Total returns all messages sent per tour.
+func (m MessageStats) Total() int { return m.Probes + m.Acks + m.Schedules + m.Finishes }
+
+// Result is the outcome of one simulated tour.
+type Result struct {
+	Alloc     *core.Allocation
+	Data      float64 // bits collected
+	Messages  MessageStats
+	Intervals int
+	// RegisteredIn[i] lists the interval indices in which sensor i
+	// registered (for the Lemma 1 check).
+	RegisteredIn [][]int
+	// Residual[i] is sensor i's remaining budget after the tour.
+	Residual []float64
+	// ResidualData[i] is sensor i's remaining queued data after the tour,
+	// bits (+Inf entries on uncapped instances).
+	ResidualData []float64
+}
+
+// CheckLemma1 verifies each sensor registered in at most two consecutive
+// intervals (paper Lemma 1).
+func (r *Result) CheckLemma1() error {
+	for i, ivs := range r.RegisteredIn {
+		if len(ivs) > 2 {
+			return fmt.Errorf("online: sensor %d registered in %d intervals %v", i, len(ivs), ivs)
+		}
+		if len(ivs) == 2 && ivs[1] != ivs[0]+1 {
+			return fmt.Errorf("online: sensor %d registered in non-consecutive intervals %v", i, ivs)
+		}
+	}
+	return nil
+}
+
+// Options tunes protocol realism beyond the paper's idealized assumptions.
+type Options struct {
+	// AckWindow, when positive, simulates CSMA contention during the
+	// registration phase with that many backoff slots per interval
+	// (internal/mac); sensors whose Ack collides miss the interval. The
+	// paper assumes AckWindow = 0, i.e. collision-free registration.
+	AckWindow int
+	// Seed drives the contention randomness; runs are deterministic per
+	// seed.
+	Seed int64
+}
+
+// Run simulates one tour of the online protocol over the instance using the
+// given scheduler, driving all message exchanges through a discrete-event
+// engine, under the paper's idealized registration (no Ack contention).
+func Run(inst *core.Instance, sched Scheduler) (*Result, error) {
+	return RunOpts(inst, sched, Options{})
+}
+
+// RunOpts is Run with protocol options.
+func RunOpts(inst *core.Instance, sched Scheduler, opts Options) (*Result, error) {
+	if inst == nil {
+		return nil, errors.New("online: nil instance")
+	}
+	if sched == nil {
+		return nil, errors.New("online: nil scheduler")
+	}
+	if inst.DataCaps != nil {
+		aware, ok := sched.(interface{ CapAware() bool })
+		if !ok || !aware.CapAware() {
+			return nil, fmt.Errorf("online: scheduler %s does not handle data-capped instances (use Sequential)", sched.Name())
+		}
+	}
+	eng := sim.NewEngine()
+	res := &Result{
+		Alloc:        inst.NewAllocation(),
+		RegisteredIn: make([][]int, len(inst.Sensors)),
+		Residual:     make([]float64, len(inst.Sensors)),
+		ResidualData: make([]float64, len(inst.Sensors)),
+	}
+	for i := range inst.Sensors {
+		res.Residual[i] = inst.Sensors[i].Budget
+		res.ResidualData[i] = inst.DataCapOf(i)
+	}
+
+	gamma := inst.Gamma
+	intervals := (inst.T + gamma - 1) / gamma
+	res.Intervals = intervals
+
+	var contention *rand.Rand
+	if opts.AckWindow > 0 {
+		contention = rand.New(rand.NewSource(opts.Seed))
+	}
+	var schedErr error
+	for j := 0; j < intervals; j++ {
+		j := j
+		start := j * gamma
+		end := start + gamma - 1
+		if end >= inst.T {
+			end = inst.T - 1
+		}
+		iv := Interval{Index: j, Start: start, End: end}
+		probeAt := float64(start) * inst.Tau
+		err := eng.Schedule(probeAt, fmt.Sprintf("probe-%d", j), func(now float64) {
+			if schedErr != nil {
+				return
+			}
+			schedErr = runInterval(eng, inst, sched, iv, res, opts, contention)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng.Run()
+	if schedErr != nil {
+		return nil, schedErr
+	}
+	res.Messages = MessageStats{
+		Probes:    eng.Counter("probe"),
+		Acks:      eng.Counter("ack"),
+		Schedules: eng.Counter("schedule"),
+		Finishes:  eng.Counter("finish"),
+	}
+	inst.RecomputeData(res.Alloc)
+	res.Data = res.Alloc.Data
+	if _, err := inst.Validate(res.Alloc); err != nil {
+		return nil, fmt.Errorf("online: produced infeasible allocation: %w", err)
+	}
+	return res, nil
+}
+
+// runInterval executes the probe → ack → schedule → transmit → finish cycle
+// of one interval.
+func runInterval(eng *sim.Engine, inst *core.Instance, sched Scheduler, iv Interval, res *Result, opts Options, contention *rand.Rand) error {
+	eng.Count("probe", 1)
+	sinkPos := inst.Traj.PosAtSlotStart(iv.Start)
+
+	// Sensors in range of the probe ack with their profiles.
+	var inRange []int
+	for i := range inst.Sensors {
+		s := &inst.Sensors[i]
+		if s.Start < 0 || sinkPos.Dist(s.Pos) > inst.Range {
+			continue
+		}
+		inRange = append(inRange, i)
+	}
+	// Registration contention: every in-range sensor transmits an Ack, but
+	// only the contention winners are heard by the sink.
+	heard := make([]bool, len(inRange))
+	for k := range heard {
+		heard[k] = true
+	}
+	if contention != nil {
+		ok, err := mac.CSMAWindow(len(inRange), opts.AckWindow, contention)
+		if err != nil {
+			return err
+		}
+		heard = ok
+	}
+	var regs []Registration
+	for k, i := range inRange {
+		eng.Count("ack", 1) // the Ack is sent regardless of collisions
+		if !heard[k] {
+			eng.Count("ack-lost", 1)
+			continue
+		}
+		s := &inst.Sensors[i]
+		res.RegisteredIn[i] = append(res.RegisteredIn[i], iv.Index)
+		cs, ce := s.Start, s.End
+		if cs < iv.Start {
+			cs = iv.Start
+		}
+		if ce > iv.End {
+			ce = iv.End
+		}
+		regs = append(regs, Registration{
+			Sensor: i, Budget: res.Residual[i], DataLeft: res.ResidualData[i],
+			ClipStart: cs, ClipEnd: ce,
+		})
+	}
+	if len(regs) == 0 {
+		return nil // nobody answered; the sink idles this interval
+	}
+
+	// Registration timer expiry: run the scheduler, broadcast the result.
+	assign, err := sched.Schedule(inst, iv, regs)
+	if err != nil {
+		return fmt.Errorf("online: interval %d: %w", iv.Index, err)
+	}
+	eng.Count("schedule", 1)
+	if err := applyAssignment(inst, iv, regs, assign, res); err != nil {
+		return fmt.Errorf("online: interval %d: %w", iv.Index, err)
+	}
+
+	// Finish broadcast at the end of the interval; budgets were already
+	// debited in applyAssignment (the sensors' update on Finish receipt).
+	finishAt := (float64(iv.End) + 1) * inst.Tau
+	return eng.Schedule(finishAt, fmt.Sprintf("finish-%d", iv.Index), func(float64) {
+		eng.Count("finish", 1)
+	})
+}
+
+// applyAssignment validates a scheduler's output against the protocol rules
+// and commits it to the tour allocation and residual budgets.
+func applyAssignment(inst *core.Instance, iv Interval, regs []Registration, assign map[int]int, res *Result) error {
+	regOf := make(map[int]*Registration, len(regs))
+	for k := range regs {
+		regOf[regs[k].Sensor] = &regs[k]
+	}
+	spend := make(map[int]float64)
+	dataSpend := make(map[int]float64)
+	for slot, sensor := range assign {
+		r, ok := regOf[sensor]
+		if !ok {
+			return fmt.Errorf("scheduler assigned slot %d to unregistered sensor %d", slot, sensor)
+		}
+		if slot < r.ClipStart || slot > r.ClipEnd {
+			return fmt.Errorf("slot %d outside clipped window [%d,%d] of sensor %d", slot, r.ClipStart, r.ClipEnd, sensor)
+		}
+		if res.Alloc.SlotOwner[slot] != -1 {
+			return fmt.Errorf("slot %d double-booked", slot)
+		}
+		spend[sensor] += inst.Sensors[sensor].PowerAt(slot) * inst.Tau
+		dataSpend[sensor] += inst.Sensors[sensor].RateAt(slot) * inst.Tau
+	}
+	for sensor, e := range spend {
+		if e > res.Residual[sensor]+1e-9 {
+			return fmt.Errorf("sensor %d scheduled to spend %v J with only %v J left", sensor, e, res.Residual[sensor])
+		}
+		if d := dataSpend[sensor]; d > res.ResidualData[sensor]+1e-6 {
+			return fmt.Errorf("sensor %d scheduled to upload %v bits with only %v queued", sensor, d, res.ResidualData[sensor])
+		}
+	}
+	for slot, sensor := range assign {
+		res.Alloc.SlotOwner[slot] = sensor
+	}
+	for sensor, e := range spend {
+		res.Residual[sensor] = math.Max(0, res.Residual[sensor]-e)
+		if !math.IsInf(res.ResidualData[sensor], 1) {
+			res.ResidualData[sensor] = math.Max(0, res.ResidualData[sensor]-dataSpend[sensor])
+		}
+	}
+	return nil
+}
+
+// Appro is the GAP-based scheduler (Online_Appro): within the interval it
+// runs the same local-ratio algorithm as the offline solution, restricted
+// to the registered sensors and the interval's Γ slots.
+type Appro struct {
+	Opts core.Options
+}
+
+// Name implements Scheduler.
+func (a *Appro) Name() string { return "Online_Appro" }
+
+// Schedule implements Scheduler.
+func (a *Appro) Schedule(inst *core.Instance, iv Interval, regs []Registration) (map[int]int, error) {
+	// Order registered sensors by (clipped start, clipped end) — the same
+	// ordering rule as offline.
+	order := make([]int, len(regs))
+	for k := range order {
+		order[k] = k
+	}
+	sort.Slice(order, func(x, y int) bool {
+		rx, ry := regs[order[x]], regs[order[y]]
+		if rx.ClipStart != ry.ClipStart {
+			return rx.ClipStart < ry.ClipStart
+		}
+		if rx.ClipEnd != ry.ClipEnd {
+			return rx.ClipEnd < ry.ClipEnd
+		}
+		return rx.Sensor < ry.Sensor
+	})
+	width := iv.End - iv.Start + 1
+	g := &gap.Instance{NumItems: width}
+	g.Bins = make([]gap.Bin, len(order))
+	for b, k := range order {
+		r := regs[k]
+		s := &inst.Sensors[r.Sensor]
+		bin := gap.Bin{Capacity: r.Budget}
+		for j := r.ClipStart; j <= r.ClipEnd; j++ {
+			rate, pw := s.RateAt(j), s.PowerAt(j)
+			if rate <= 0 || pw <= 0 {
+				continue
+			}
+			bin.Entries = append(bin.Entries, gap.Entry{
+				Item: j - iv.Start, Profit: rate * inst.Tau, Weight: pw * inst.Tau,
+			})
+		}
+		g.Bins[b] = bin
+	}
+	asg, err := gap.LocalRatio(g, a.solver(inst))
+	if err != nil {
+		return nil, err
+	}
+	assign := make(map[int]int)
+	for item, b := range asg.ItemBin {
+		if b >= 0 {
+			assign[item+iv.Start] = regs[order[b]].Sensor
+		}
+	}
+	return assign, nil
+}
+
+func (a *Appro) solver(inst *core.Instance) knapsack.Solver {
+	return a.Opts.Solver(inst)
+}
+
+// MaxMatch is the matching-based scheduler for the fixed-power special case
+// (Online_MaxMatch): per interval, a maximum-weight matching between
+// registered sensors (with capacity n'_i = min(Γ, |[i'_s, i'_e]|,
+// ⌊P(v_i)/(P'·τ)⌋)) and the interval's slots.
+type MaxMatch struct {
+	// UseHungarian switches to the paper's literal construction — n'_i
+	// explicit sensor-node copies solved by the O(n³) Hungarian algorithm —
+	// instead of the default capacity-aware min-cost flow. Both produce a
+	// maximum-weight matching; the flow backend is faster. Kept for
+	// validating the equivalence on live instances.
+	UseHungarian bool
+}
+
+// Name implements Scheduler.
+func (m *MaxMatch) Name() string { return "Online_MaxMatch" }
+
+// Schedule implements Scheduler.
+func (m *MaxMatch) Schedule(inst *core.Instance, iv Interval, regs []Registration) (map[int]int, error) {
+	pFixed, ok := inst.FixedTxPower()
+	if !ok {
+		return nil, errors.New("MaxMatch scheduler requires a fixed transmission power instance")
+	}
+	perSlot := pFixed * inst.Tau
+	width := iv.End - iv.Start + 1
+	if m.UseHungarian {
+		return m.scheduleHungarian(inst, iv, regs, perSlot, width)
+	}
+	g, err := matching.NewGraph(len(regs), width)
+	if err != nil {
+		return nil, err
+	}
+	for k, r := range regs {
+		s := &inst.Sensors[r.Sensor]
+		nCopies := int(math.Floor(r.Budget/perSlot + 1e-9))
+		if w := r.ClipEnd - r.ClipStart + 1; nCopies > w {
+			nCopies = w
+		}
+		if nCopies > inst.Gamma {
+			nCopies = inst.Gamma
+		}
+		if nCopies < 0 {
+			nCopies = 0
+		}
+		if err := g.SetLeftCap(k, nCopies); err != nil {
+			return nil, err
+		}
+		for j := r.ClipStart; j <= r.ClipEnd; j++ {
+			if rate := s.RateAt(j); rate > 0 {
+				if err := g.AddEdge(k, j-iv.Start, rate*inst.Tau); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	match := g.MaxWeight()
+	assign := make(map[int]int)
+	for rSlot, k := range match.RightMatch {
+		if k >= 0 {
+			assign[rSlot+iv.Start] = regs[k].Sensor
+		}
+	}
+	return assign, nil
+}
+
+// scheduleHungarian is the paper's G' construction: n'_i identical copies
+// per registered sensor, solved with the Hungarian algorithm.
+func (m *MaxMatch) scheduleHungarian(inst *core.Instance, iv Interval, regs []Registration, perSlot float64, width int) (map[int]int, error) {
+	var rows [][]float64
+	var rowSensor []int
+	for _, r := range regs {
+		s := &inst.Sensors[r.Sensor]
+		nCopies := int(math.Floor(r.Budget/perSlot + 1e-9))
+		if w := r.ClipEnd - r.ClipStart + 1; nCopies > w {
+			nCopies = w
+		}
+		if nCopies > inst.Gamma {
+			nCopies = inst.Gamma
+		}
+		if nCopies <= 0 {
+			continue
+		}
+		row := make([]float64, width)
+		for j := r.ClipStart; j <= r.ClipEnd; j++ {
+			if rate := s.RateAt(j); rate > 0 {
+				row[j-iv.Start] = rate * inst.Tau
+			}
+		}
+		for c := 0; c < nCopies; c++ {
+			rows = append(rows, row)
+			rowSensor = append(rowSensor, r.Sensor)
+		}
+	}
+	matchL, _, err := matching.Hungarian(rows)
+	if err != nil {
+		return nil, err
+	}
+	assign := make(map[int]int)
+	for l, r := range matchL {
+		if r >= 0 {
+			assign[r+iv.Start] = rowSensor[l]
+		}
+	}
+	return assign, nil
+}
+
+// Greedy is a per-interval density-greedy scheduler baseline.
+type Greedy struct{}
+
+// Name implements Scheduler.
+func (g *Greedy) Name() string { return "Online_Greedy" }
+
+// Schedule implements Scheduler.
+func (g *Greedy) Schedule(inst *core.Instance, iv Interval, regs []Registration) (map[int]int, error) {
+	width := iv.End - iv.Start + 1
+	gi := &gap.Instance{NumItems: width}
+	gi.Bins = make([]gap.Bin, len(regs))
+	for k, r := range regs {
+		s := &inst.Sensors[r.Sensor]
+		bin := gap.Bin{Capacity: r.Budget}
+		for j := r.ClipStart; j <= r.ClipEnd; j++ {
+			rate, pw := s.RateAt(j), s.PowerAt(j)
+			if rate <= 0 || pw <= 0 {
+				continue
+			}
+			bin.Entries = append(bin.Entries, gap.Entry{Item: j - iv.Start, Profit: rate * inst.Tau, Weight: pw * inst.Tau})
+		}
+		gi.Bins[k] = bin
+	}
+	asg, err := gap.Greedy(gi)
+	if err != nil {
+		return nil, err
+	}
+	assign := make(map[int]int)
+	for item, b := range asg.ItemBin {
+		if b >= 0 {
+			assign[item+iv.Start] = regs[b].Sensor
+		}
+	}
+	return assign, nil
+}

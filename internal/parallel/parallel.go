@@ -1,0 +1,78 @@
+// Package parallel provides the bounded fork-join primitive used by the
+// experiment harness: run n independent index-addressed tasks with a fixed
+// worker budget, collect every error, and keep results deterministic by
+// writing into caller-owned, index-addressed storage.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) using at most `workers`
+// concurrent goroutines (GOMAXPROCS when workers ≤ 0). All tasks run even
+// if some fail; the returned error joins every task error in index order.
+// fn must write its result into caller-owned storage at index i — that
+// keeps aggregation deterministic regardless of scheduling.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n < 0 {
+		return fmt.Errorf("parallel: negative task count %d", n)
+	}
+	if fn == nil {
+		return errors.New("parallel: nil task function")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("parallel: task %d panicked: %v", i, r)
+				}
+			}()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	var nonNil []error
+	for _, err := range errs {
+		if err != nil {
+			nonNil = append(nonNil, err)
+		}
+	}
+	return errors.Join(nonNil...)
+}
+
+// Map runs fn over [0, n) and returns the results in index order; the
+// first error (by index) aborts nothing but is reported joined.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if fn == nil {
+		return nil, errors.New("parallel: nil task function")
+	}
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,261 @@
+// Package phy models the physical layer underneath the paper's abstract
+// multi-rate table: log-distance path loss, SNR at the receiver, O-QPSK
+// bit-error rate (the CC2420 radio the paper cites uses O-QPSK), frame
+// error rate, and stop-and-wait ARQ. It serves two purposes:
+//
+//  1. validation — the paper's rate/power tiers (§VII.A) assert that a
+//     given power sustains a given rate up to a given distance; phy lets
+//     the simulator derive effective goodput from first principles and
+//     check that a tier's operating point actually closes its link;
+//  2. substitution — via Model, any phy parameterization is usable as a
+//     radio.Model, so instances can be built from physics instead of a
+//     hand-authored table.
+//
+// All deterministic quantities are analytic; SimulateSlot additionally
+// provides a seeded Monte-Carlo frame-by-frame simulation whose mean
+// converges to the analytic goodput (tested).
+package phy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mobisink/internal/radio"
+)
+
+// Params describes one radio operating point and environment.
+type Params struct {
+	// TxPowerDBm is the transmission power at the antenna.
+	TxPowerDBm float64
+	// BitRate is the raw channel rate in bit/s.
+	BitRate float64
+	// RefLossDB is the path loss at RefDist meters (e.g. 40 dB at 1 m for
+	// 2.4 GHz free space plus antenna losses).
+	RefLossDB float64
+	// RefDist is the path-loss reference distance in meters.
+	RefDist float64
+	// Exponent is the path-loss exponent (≥ 2).
+	Exponent float64
+	// NoiseFloorDBm is thermal noise + receiver noise figure over the
+	// signal bandwidth.
+	NoiseFloorDBm float64
+	// FrameBytes is the PHY payload per frame; OverheadBytes covers
+	// preamble/header/CRC and is excluded from goodput.
+	FrameBytes    int
+	OverheadBytes int
+	// MaxRetries is the number of ARQ retransmissions after the first
+	// attempt (0 = no ARQ).
+	MaxRetries int
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	switch {
+	case p.BitRate <= 0:
+		return errors.New("phy: bit rate must be positive")
+	case p.RefDist <= 0:
+		return errors.New("phy: reference distance must be positive")
+	case p.Exponent < 1.6:
+		return fmt.Errorf("phy: implausible path-loss exponent %v", p.Exponent)
+	case p.FrameBytes <= 0:
+		return errors.New("phy: frame payload must be positive")
+	case p.OverheadBytes < 0:
+		return errors.New("phy: negative overhead")
+	case p.MaxRetries < 0:
+		return errors.New("phy: negative retries")
+	}
+	return nil
+}
+
+// CC2420 returns parameters resembling the radio the paper cites
+// (2.4 GHz O-QPSK, 250 kbps, −95 dBm sensitivity class) at the given
+// transmit power.
+func CC2420(txDBm float64) Params {
+	return Params{
+		TxPowerDBm:    txDBm,
+		BitRate:       250e3,
+		RefLossDB:     40,
+		RefDist:       1,
+		Exponent:      2.7,
+		NoiseFloorDBm: -100,
+		FrameBytes:    112, // 802.15.4 max payload-ish
+		OverheadBytes: 21,
+		MaxRetries:    3,
+	}
+}
+
+// DBmToWatts converts dBm to Watts.
+func DBmToWatts(dbm float64) float64 { return math.Pow(10, dbm/10) / 1000 }
+
+// WattsToDBm converts Watts to dBm.
+func WattsToDBm(w float64) float64 { return 10 * math.Log10(w*1000) }
+
+// PathLossDB returns the log-distance path loss at distance d.
+func (p Params) PathLossDB(d float64) float64 {
+	if d < p.RefDist {
+		d = p.RefDist
+	}
+	return p.RefLossDB + 10*p.Exponent*math.Log10(d/p.RefDist)
+}
+
+// SNRdB returns the received signal-to-noise ratio at distance d.
+func (p Params) SNRdB(d float64) float64 {
+	return p.TxPowerDBm - p.PathLossDB(d) - p.NoiseFloorDBm
+}
+
+// BER returns the bit error rate at distance d under O-QPSK with coherent
+// detection: BER = Q(√(2·Eb/N0)), with Eb/N0 taken as the per-bit SNR.
+func (p Params) BER(d float64) float64 {
+	snr := math.Pow(10, p.SNRdB(d)/10)
+	if snr <= 0 {
+		return 0.5
+	}
+	ber := 0.5 * math.Erfc(math.Sqrt(snr))
+	if ber > 0.5 {
+		ber = 0.5
+	}
+	return ber
+}
+
+// FER returns the frame error rate at distance d (any bit error kills the
+// frame; no FEC).
+func (p Params) FER(d float64) float64 {
+	bits := float64(8 * (p.FrameBytes + p.OverheadBytes))
+	ber := p.BER(d)
+	return 1 - math.Pow(1-ber, bits)
+}
+
+// DeliveryProb returns the probability a frame is delivered within the ARQ
+// budget (1 + MaxRetries attempts).
+func (p Params) DeliveryProb(d float64) float64 {
+	fer := p.FER(d)
+	return 1 - math.Pow(fer, float64(p.MaxRetries+1))
+}
+
+// Goodput returns the expected application-payload rate (bit/s) at
+// distance d: channel rate scaled by payload efficiency and divided by the
+// expected number of transmissions per *delivered* frame, accounting for
+// frames lost after all retries.
+func (p Params) Goodput(d float64) float64 {
+	fer := p.FER(d)
+	if fer >= 1 {
+		return 0
+	}
+	attempts := float64(p.MaxRetries + 1)
+	// Expected attempts consumed per frame entering the ARQ process.
+	expAttempts := (1 - math.Pow(fer, attempts)) / (1 - fer)
+	delivered := 1 - math.Pow(fer, attempts)
+	payload := float64(8 * p.FrameBytes)
+	total := float64(8 * (p.FrameBytes + p.OverheadBytes))
+	frameAirTime := total / p.BitRate
+	return payload * delivered / (expAttempts * frameAirTime)
+}
+
+// FrameAirTime returns the on-air duration of one frame in seconds.
+func (p Params) FrameAirTime() float64 {
+	return float64(8*(p.FrameBytes+p.OverheadBytes)) / p.BitRate
+}
+
+// SlotResult is the outcome of a Monte-Carlo slot simulation.
+type SlotResult struct {
+	Frames     int     // frames attempted (first transmissions)
+	Delivered  int     // frames delivered within the ARQ budget
+	Attempts   int     // total transmissions including retries
+	Bits       float64 // payload bits delivered
+	EnergyJ    float64 // transmit energy spent
+	AirSeconds float64 // time spent transmitting
+}
+
+// SimulateSlot runs a frame-by-frame simulation of one time slot of
+// `duration` seconds at distance d, drawing frame losses from rng. The
+// radio transmits back-to-back frames with stop-and-wait ARQ (ack time
+// ignored, as the paper's model does). Energy is TxPower × air time.
+func (p Params) SimulateSlot(d, duration float64, rng *rand.Rand) (SlotResult, error) {
+	if err := p.Validate(); err != nil {
+		return SlotResult{}, err
+	}
+	if duration <= 0 {
+		return SlotResult{}, fmt.Errorf("phy: non-positive slot duration %v", duration)
+	}
+	if rng == nil {
+		return SlotResult{}, errors.New("phy: nil rng")
+	}
+	fer := p.FER(d)
+	air := p.FrameAirTime()
+	txW := DBmToWatts(p.TxPowerDBm)
+	var res SlotResult
+	t := 0.0
+	for {
+		if t+air > duration {
+			break
+		}
+		res.Frames++
+		delivered := false
+		for attempt := 0; attempt <= p.MaxRetries; attempt++ {
+			if t+air > duration {
+				break
+			}
+			t += air
+			res.Attempts++
+			if rng.Float64() >= fer {
+				delivered = true
+				break
+			}
+		}
+		if delivered {
+			res.Delivered++
+			res.Bits += float64(8 * p.FrameBytes)
+		}
+	}
+	res.AirSeconds = float64(res.Attempts) * air
+	res.EnergyJ = res.AirSeconds * txW
+	return res, nil
+}
+
+// Model adapts a set of phy operating points (one per power level, tried
+// in listed order) into a radio.Model-compatible link chooser: at distance
+// d it picks the first operating point whose delivery probability meets
+// MinDelivery, returning its goodput and transmit power.
+type Model struct {
+	Points      []Params
+	MinDelivery float64 // e.g. 0.9
+	MaxRange    float64 // hard range cutoff, m
+}
+
+// NewModel validates and builds the adapter.
+func NewModel(points []Params, minDelivery, maxRange float64) (*Model, error) {
+	if len(points) == 0 {
+		return nil, errors.New("phy: no operating points")
+	}
+	for i, pt := range points {
+		if err := pt.Validate(); err != nil {
+			return nil, fmt.Errorf("phy: point %d: %w", i, err)
+		}
+	}
+	if minDelivery <= 0 || minDelivery > 1 {
+		return nil, fmt.Errorf("phy: delivery threshold %v outside (0,1]", minDelivery)
+	}
+	if maxRange <= 0 {
+		return nil, errors.New("phy: non-positive max range")
+	}
+	return &Model{Points: points, MinDelivery: minDelivery, MaxRange: maxRange}, nil
+}
+
+// LinkAt picks the operating point for distance d, implementing
+// radio.Model so instances can be built directly from physics.
+func (m *Model) LinkAt(d float64) (radio.Link, bool) {
+	if d < 0 || d > m.MaxRange {
+		return radio.Link{}, false
+	}
+	for _, pt := range m.Points {
+		if pt.DeliveryProb(d) >= m.MinDelivery {
+			return radio.Link{Rate: pt.Goodput(d), Power: DBmToWatts(pt.TxPowerDBm)}, true
+		}
+	}
+	return radio.Link{}, false
+}
+
+// Range returns the hard range cutoff.
+func (m *Model) Range() float64 { return m.MaxRange }

@@ -1,0 +1,261 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobisink/internal/core"
+	"mobisink/internal/network"
+	"mobisink/internal/radio"
+)
+
+func TestValidate(t *testing.T) {
+	good := CC2420(0)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("CC2420 params invalid: %v", err)
+	}
+	cases := []func(*Params){
+		func(p *Params) { p.BitRate = 0 },
+		func(p *Params) { p.RefDist = 0 },
+		func(p *Params) { p.Exponent = 1 },
+		func(p *Params) { p.FrameBytes = 0 },
+		func(p *Params) { p.OverheadBytes = -1 },
+		func(p *Params) { p.MaxRetries = -1 },
+	}
+	for i, mutate := range cases {
+		p := CC2420(0)
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if got := DBmToWatts(0); math.Abs(got-0.001) > 1e-12 {
+		t.Errorf("0 dBm = %v W", got)
+	}
+	if got := DBmToWatts(30); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("30 dBm = %v W", got)
+	}
+	for _, dbm := range []float64{-10, 0, 7, 22.3} {
+		if got := WattsToDBm(DBmToWatts(dbm)); math.Abs(got-dbm) > 1e-9 {
+			t.Errorf("round trip %v → %v", dbm, got)
+		}
+	}
+}
+
+func TestPathLossMonotone(t *testing.T) {
+	p := CC2420(0)
+	prev := -1.0
+	for d := 1.0; d <= 500; d *= 1.5 {
+		pl := p.PathLossDB(d)
+		if pl <= prev {
+			t.Fatalf("path loss not increasing at %v m", d)
+		}
+		prev = pl
+	}
+	// Below the reference distance the loss clamps.
+	if p.PathLossDB(0.1) != p.PathLossDB(1) {
+		t.Error("loss below reference distance must clamp")
+	}
+}
+
+func TestBERBehaviour(t *testing.T) {
+	p := CC2420(0)
+	// Close range: essentially error-free.
+	if ber := p.BER(1); ber > 1e-12 {
+		t.Errorf("BER(1 m) = %v, want ~0", ber)
+	}
+	// Very far: approaches 0.5 but never exceeds it.
+	if ber := p.BER(100000); ber < 0.4 || ber > 0.5 {
+		t.Errorf("BER(100 km) = %v", ber)
+	}
+	// Monotone non-decreasing with distance.
+	prev := 0.0
+	for d := 1.0; d < 2000; d *= 1.3 {
+		ber := p.BER(d)
+		if ber+1e-15 < prev {
+			t.Fatalf("BER decreased at %v m", d)
+		}
+		prev = ber
+	}
+}
+
+func TestFERAndDelivery(t *testing.T) {
+	p := CC2420(0)
+	if fer := p.FER(1); fer > 1e-9 {
+		t.Errorf("FER(1 m) = %v", fer)
+	}
+	if dp := p.DeliveryProb(1); dp < 1-1e-9 {
+		t.Errorf("DeliveryProb(1 m) = %v", dp)
+	}
+	// ARQ helps: delivery with retries ≥ delivery of a single attempt.
+	far := 120.0
+	single := p
+	single.MaxRetries = 0
+	if p.DeliveryProb(far) < single.DeliveryProb(far) {
+		t.Error("retries must not hurt delivery")
+	}
+}
+
+func TestGoodputShape(t *testing.T) {
+	p := CC2420(0)
+	// Near: goodput ≈ bitrate × payload efficiency.
+	eff := float64(p.FrameBytes) / float64(p.FrameBytes+p.OverheadBytes)
+	near := p.Goodput(1)
+	if math.Abs(near-p.BitRate*eff)/(p.BitRate*eff) > 1e-6 {
+		t.Errorf("near goodput %v, want %v", near, p.BitRate*eff)
+	}
+	// Monotone non-increasing with distance.
+	prev := math.Inf(1)
+	for d := 1.0; d < 5000; d *= 1.4 {
+		g := p.Goodput(d)
+		if g > prev+1e-9 {
+			t.Fatalf("goodput increased at %v m", d)
+		}
+		prev = g
+	}
+	// Far: goodput collapses to ~0.
+	if g := p.Goodput(5000); g > 1 {
+		t.Errorf("far goodput = %v", g)
+	}
+}
+
+func TestSimulateSlotMatchesAnalytic(t *testing.T) {
+	p := CC2420(0)
+	rng := rand.New(rand.NewSource(5))
+	for _, d := range []float64{10, 150, 260} {
+		var bits, seconds float64
+		const slots = 400
+		for i := 0; i < slots; i++ {
+			res, err := p.SimulateSlot(d, 1.0, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bits += res.Bits
+			seconds += 1.0
+			if res.Attempts < res.Frames {
+				t.Fatal("attempts < frames")
+			}
+			if res.Delivered > res.Frames {
+				t.Fatal("delivered > frames")
+			}
+			if res.EnergyJ < 0 || res.AirSeconds > 1.0+1e-9 {
+				t.Fatalf("implausible slot result %+v", res)
+			}
+		}
+		mc := bits / seconds
+		analytic := p.Goodput(d)
+		// The slot boundary truncates partially-completed ARQ rounds, so the
+		// Monte-Carlo mean sits slightly below the analytic steady-state
+		// goodput; allow 10% + a small absolute tolerance.
+		if mc > analytic*1.1+100 || mc < analytic*0.8-100 {
+			t.Errorf("d=%v: MC goodput %v vs analytic %v", d, mc, analytic)
+		}
+	}
+}
+
+func TestSimulateSlotValidation(t *testing.T) {
+	p := CC2420(0)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := p.SimulateSlot(10, 0, rng); err == nil {
+		t.Error("expected duration error")
+	}
+	if _, err := p.SimulateSlot(10, 1, nil); err == nil {
+		t.Error("expected rng error")
+	}
+	bad := p
+	bad.BitRate = 0
+	if _, err := bad.SimulateSlot(10, 1, rng); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(nil, 0.9, 200); err == nil {
+		t.Error("expected empty-points error")
+	}
+	bad := CC2420(0)
+	bad.BitRate = 0
+	if _, err := NewModel([]Params{bad}, 0.9, 200); err == nil {
+		t.Error("expected invalid-point error")
+	}
+	if _, err := NewModel([]Params{CC2420(0)}, 0, 200); err == nil {
+		t.Error("expected threshold error")
+	}
+	if _, err := NewModel([]Params{CC2420(0)}, 0.9, 0); err == nil {
+		t.Error("expected range error")
+	}
+}
+
+// The tier intuition of the paper's table: lower power suffices close by,
+// higher power extends the range at lower goodput.
+func TestModelTiering(t *testing.T) {
+	low := CC2420(-10)
+	high := CC2420(0)
+	m, err := NewModel([]Params{low, high}, 0.95, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, ok := m.LinkAt(5)
+	if !ok {
+		t.Fatal("no link at 5 m")
+	}
+	if math.Abs(near.Power-DBmToWatts(-10)) > 1e-12 {
+		t.Errorf("near link should use the low-power point, got %v W", near.Power)
+	}
+	// Find a distance where only the high-power point closes the link.
+	found := false
+	for d := 10.0; d <= 300; d += 5 {
+		if low.DeliveryProb(d) < 0.95 && high.DeliveryProb(d) >= 0.95 {
+			l, ok := m.LinkAt(d)
+			if !ok {
+				t.Fatalf("expected link at %v m", d)
+			}
+			if math.Abs(l.Power-DBmToWatts(0)) > 1e-12 {
+				t.Fatalf("at %v m expected high power", d)
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no exclusive high-power band with these parameters")
+	}
+	if _, ok := m.LinkAt(400); ok {
+		t.Error("beyond max range must fail")
+	}
+	if _, ok := m.LinkAt(-1); ok {
+		t.Error("negative distance must fail")
+	}
+}
+
+// End-to-end: a physics-derived model can drive the whole pipeline.
+func TestModelDrivesInstance(t *testing.T) {
+	m, err := NewModel([]Params{CC2420(-7), CC2420(0)}, 0.9, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ radio.Model = m // compile-time interface check
+	dep, err := network.Generate(network.Params{N: 40, PathLength: 2000, MaxOffset: 150, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dep.SetUniformBudgets(2)
+	inst, err := core.BuildInstance(dep, m, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.OfflineAppro(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Validate(a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Data <= 0 {
+		t.Error("physics-driven instance collected nothing")
+	}
+}

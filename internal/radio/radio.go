@@ -1,0 +1,193 @@
+// Package radio models the sensor-to-sink wireless link.
+//
+// The paper adopts a multi-rate communication mechanism (CC2420-style
+// discrete power levels): the achievable rate and the transmission power
+// both depend on the sensor-to-sink distance. Package radio provides
+//
+//   - RateTable: the paper's piecewise-constant 4-pair setting
+//     (250 kbps/170 mW @ 0-20 m, 19.2 kbps/220 mW @ 20-50 m,
+//     9.6 kbps/300 mW @ 50-120 m, 4.8 kbps/330 mW @ 120-200 m),
+//   - FixedPower: the special-case model of paper §VI, where every sensor
+//     transmits with one identical power P' while the rate still follows a
+//     distance-dependent table, and
+//   - PathLoss: a generic SNR model r ∝ P/d^α for sensitivity studies.
+//
+// All models implement Model.
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Link is one operating point of the radio at a given distance.
+type Link struct {
+	Rate  float64 // achievable data rate, bit/s
+	Power float64 // transmission power drawn while sending, W
+}
+
+// Model determines the link available between a sensor and the mobile sink
+// separated by distance d (meters).
+type Model interface {
+	// LinkAt returns the link used at distance d. ok is false beyond the
+	// communication range.
+	LinkAt(d float64) (l Link, ok bool)
+	// Range returns the maximum communication distance R in meters.
+	Range() float64
+}
+
+// Tier is one row of a piecewise-constant rate table: the link used for
+// distances in (prev.MaxDist, MaxDist].
+type Tier struct {
+	MaxDist float64 // upper distance bound of this tier, m
+	Rate    float64 // bit/s
+	Power   float64 // W
+}
+
+// RateTable is a piecewise-constant multi-rate model defined by tiers with
+// increasing distance bounds. Closer tiers offer higher rates at lower power.
+type RateTable struct {
+	tiers []Tier
+}
+
+// NewRateTable validates and builds a table. Tiers must be sorted by
+// strictly increasing MaxDist with positive rates and powers.
+func NewRateTable(tiers []Tier) (*RateTable, error) {
+	if len(tiers) == 0 {
+		return nil, errors.New("radio: empty rate table")
+	}
+	prev := 0.0
+	for i, t := range tiers {
+		if t.MaxDist <= prev {
+			return nil, fmt.Errorf("radio: tier %d distance bound %v not increasing", i, t.MaxDist)
+		}
+		if t.Rate <= 0 || t.Power <= 0 {
+			return nil, fmt.Errorf("radio: tier %d has non-positive rate or power", i)
+		}
+		prev = t.MaxDist
+	}
+	cp := make([]Tier, len(tiers))
+	copy(cp, tiers)
+	return &RateTable{tiers: cp}, nil
+}
+
+// Paper2013 returns the exact 4-pairwise communication parameter setting of
+// the paper's experimental environment (§VII.A).
+func Paper2013() *RateTable {
+	rt, err := NewRateTable([]Tier{
+		{MaxDist: 20, Rate: 250e3, Power: 0.170},
+		{MaxDist: 50, Rate: 19.2e3, Power: 0.220},
+		{MaxDist: 120, Rate: 9.6e3, Power: 0.300},
+		{MaxDist: 200, Rate: 4.8e3, Power: 0.330},
+	})
+	if err != nil {
+		panic("radio: Paper2013 table invalid: " + err.Error())
+	}
+	return rt
+}
+
+// LinkAt implements Model.
+func (rt *RateTable) LinkAt(d float64) (Link, bool) {
+	if d < 0 {
+		return Link{}, false
+	}
+	i := sort.Search(len(rt.tiers), func(i int) bool { return rt.tiers[i].MaxDist >= d })
+	if i == len(rt.tiers) {
+		return Link{}, false
+	}
+	return Link{Rate: rt.tiers[i].Rate, Power: rt.tiers[i].Power}, true
+}
+
+// Range implements Model.
+func (rt *RateTable) Range() float64 { return rt.tiers[len(rt.tiers)-1].MaxDist }
+
+// Tiers returns a copy of the table's tiers.
+func (rt *RateTable) Tiers() []Tier {
+	cp := make([]Tier, len(rt.tiers))
+	copy(cp, rt.tiers)
+	return cp
+}
+
+// FixedPower wraps a rate model so that every transmission uses the single
+// power P' regardless of distance, while the rate still follows the wrapped
+// model. This is the special data collection maximization problem of
+// paper §VI (experiments use P' = 300 mW).
+type FixedPower struct {
+	Rates Model   // distance→rate source
+	P     float64 // the identical transmission power P', W
+}
+
+// NewFixedPower builds the special-case model.
+func NewFixedPower(rates Model, p float64) (*FixedPower, error) {
+	if rates == nil {
+		return nil, errors.New("radio: nil rate source")
+	}
+	if p <= 0 {
+		return nil, fmt.Errorf("radio: fixed power must be positive, got %v", p)
+	}
+	return &FixedPower{Rates: rates, P: p}, nil
+}
+
+// LinkAt implements Model.
+func (fp *FixedPower) LinkAt(d float64) (Link, bool) {
+	l, ok := fp.Rates.LinkAt(d)
+	if !ok {
+		return Link{}, false
+	}
+	return Link{Rate: l.Rate, Power: fp.P}, true
+}
+
+// Range implements Model.
+func (fp *FixedPower) Range() float64 { return fp.Rates.Range() }
+
+// PathLoss is the generic SNR-driven model r = RefRate·(d0/d)^Alpha with a
+// matching power ramp: transmissions at larger d use proportionally more
+// power up to MaxPower, mimicking transmit-power control that holds the
+// received SNR constant (paper §II.C: r_{i,j} ∝ P_{v_i}/d^α, α ≥ 2).
+type PathLoss struct {
+	RefRate  float64 // rate at reference distance d0, bit/s
+	RefDist  float64 // d0, m
+	Alpha    float64 // path-loss exponent, ≥ 2
+	MinPower float64 // power at/below d0, W
+	MaxPower float64 // power at MaxRange, W
+	MaxRange float64 // R, m
+}
+
+// NewPathLoss validates the model parameters.
+func NewPathLoss(refRate, refDist, alpha, minPower, maxPower, maxRange float64) (*PathLoss, error) {
+	switch {
+	case refRate <= 0 || refDist <= 0:
+		return nil, errors.New("radio: reference rate and distance must be positive")
+	case alpha < 2:
+		return nil, fmt.Errorf("radio: path-loss exponent must be >= 2, got %v", alpha)
+	case minPower <= 0 || maxPower < minPower:
+		return nil, errors.New("radio: need 0 < MinPower <= MaxPower")
+	case maxRange <= refDist:
+		return nil, errors.New("radio: MaxRange must exceed RefDist")
+	}
+	return &PathLoss{RefRate: refRate, RefDist: refDist, Alpha: alpha,
+		MinPower: minPower, MaxPower: maxPower, MaxRange: maxRange}, nil
+}
+
+// LinkAt implements Model.
+func (pl *PathLoss) LinkAt(d float64) (Link, bool) {
+	if d < 0 || d > pl.MaxRange {
+		return Link{}, false
+	}
+	if d <= pl.RefDist {
+		return Link{Rate: pl.RefRate, Power: pl.MinPower}, true
+	}
+	rate := pl.RefRate * math.Pow(pl.RefDist/d, pl.Alpha)
+	// Power needed to keep received power at the d0 level grows as d^α,
+	// clipped to the hardware maximum.
+	pw := pl.MinPower * math.Pow(d/pl.RefDist, pl.Alpha)
+	if pw > pl.MaxPower {
+		pw = pl.MaxPower
+	}
+	return Link{Rate: rate, Power: pw}, true
+}
+
+// Range implements Model.
+func (pl *PathLoss) Range() float64 { return pl.MaxRange }

@@ -1,0 +1,171 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaper2013Table(t *testing.T) {
+	rt := Paper2013()
+	if got := rt.Range(); got != 200 {
+		t.Fatalf("Range = %v, want 200", got)
+	}
+	cases := []struct {
+		d     float64
+		rate  float64
+		power float64
+		ok    bool
+	}{
+		{0, 250e3, 0.170, true},
+		{10, 250e3, 0.170, true},
+		{20, 250e3, 0.170, true}, // boundary belongs to the closer tier
+		{20.01, 19.2e3, 0.220, true},
+		{50, 19.2e3, 0.220, true},
+		{100, 9.6e3, 0.300, true},
+		{120, 9.6e3, 0.300, true},
+		{150, 4.8e3, 0.330, true},
+		{200, 4.8e3, 0.330, true},
+		{200.5, 0, 0, false},
+		{-1, 0, 0, false},
+	}
+	for _, c := range cases {
+		l, ok := rt.LinkAt(c.d)
+		if ok != c.ok {
+			t.Errorf("LinkAt(%v) ok = %v, want %v", c.d, ok, c.ok)
+			continue
+		}
+		if ok && (l.Rate != c.rate || l.Power != c.power) {
+			t.Errorf("LinkAt(%v) = %+v, want rate %v power %v", c.d, l, c.rate, c.power)
+		}
+	}
+}
+
+func TestNewRateTableValidation(t *testing.T) {
+	if _, err := NewRateTable(nil); err == nil {
+		t.Error("expected error for empty table")
+	}
+	if _, err := NewRateTable([]Tier{{MaxDist: 10, Rate: 1, Power: 1}, {MaxDist: 10, Rate: 1, Power: 1}}); err == nil {
+		t.Error("expected error for non-increasing bounds")
+	}
+	if _, err := NewRateTable([]Tier{{MaxDist: 10, Rate: 0, Power: 1}}); err == nil {
+		t.Error("expected error for zero rate")
+	}
+	if _, err := NewRateTable([]Tier{{MaxDist: 10, Rate: 1, Power: -1}}); err == nil {
+		t.Error("expected error for negative power")
+	}
+}
+
+func TestTiersCopy(t *testing.T) {
+	rt := Paper2013()
+	tiers := rt.Tiers()
+	tiers[0].Rate = 1
+	if l, _ := rt.LinkAt(5); l.Rate != 250e3 {
+		t.Error("Tiers() must return a copy")
+	}
+}
+
+// Property: within range, rate is non-increasing and power non-decreasing
+// with distance (closer is never worse).
+func TestRateTableMonotone(t *testing.T) {
+	rt := Paper2013()
+	f := func(aRaw, bRaw uint16) bool {
+		a := float64(aRaw%2000) / 10 // [0,200)
+		b := float64(bRaw%2000) / 10
+		if a > b {
+			a, b = b, a
+		}
+		la, _ := rt.LinkAt(a)
+		lb, _ := rt.LinkAt(b)
+		return la.Rate >= lb.Rate && la.Power <= lb.Power
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedPower(t *testing.T) {
+	fp, err := NewFixedPower(Paper2013(), 0.300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fp.Range(); got != 200 {
+		t.Fatalf("Range = %v", got)
+	}
+	l, ok := fp.LinkAt(10)
+	if !ok || l.Rate != 250e3 || l.Power != 0.300 {
+		t.Errorf("LinkAt(10) = %+v ok=%v, want rate 250k power 0.3", l, ok)
+	}
+	l, ok = fp.LinkAt(150)
+	if !ok || l.Rate != 4.8e3 || l.Power != 0.300 {
+		t.Errorf("LinkAt(150) = %+v ok=%v", l, ok)
+	}
+	if _, ok := fp.LinkAt(250); ok {
+		t.Error("expected out of range")
+	}
+}
+
+func TestNewFixedPowerValidation(t *testing.T) {
+	if _, err := NewFixedPower(nil, 0.3); err == nil {
+		t.Error("expected error for nil rates")
+	}
+	if _, err := NewFixedPower(Paper2013(), 0); err == nil {
+		t.Error("expected error for zero power")
+	}
+}
+
+func TestPathLoss(t *testing.T) {
+	pl, err := NewPathLoss(250e3, 20, 2, 0.170, 0.330, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.Range(); got != 200 {
+		t.Fatalf("Range = %v", got)
+	}
+	l, ok := pl.LinkAt(10)
+	if !ok || l.Rate != 250e3 || l.Power != 0.170 {
+		t.Errorf("LinkAt(10) = %+v (inside reference distance)", l)
+	}
+	l, ok = pl.LinkAt(40) // 2x ref dist, alpha 2 → rate/4
+	if !ok || math.Abs(l.Rate-250e3/4) > 1e-6 {
+		t.Errorf("LinkAt(40).Rate = %v, want %v", l.Rate, 250e3/4.0)
+	}
+	if l.Power != 0.330 { // 0.17*4 = 0.68 clipped to 0.33
+		t.Errorf("LinkAt(40).Power = %v, want clipped 0.330", l.Power)
+	}
+	if _, ok := pl.LinkAt(201); ok {
+		t.Error("expected out of range")
+	}
+}
+
+func TestNewPathLossValidation(t *testing.T) {
+	cases := []struct {
+		name                                          string
+		refRate, refDist, alpha, minP, maxP, maxRange float64
+	}{
+		{"zero rate", 0, 20, 2, 0.1, 0.3, 200},
+		{"alpha<2", 250e3, 20, 1.5, 0.1, 0.3, 200},
+		{"maxP<minP", 250e3, 20, 2, 0.3, 0.1, 200},
+		{"range<=refDist", 250e3, 20, 2, 0.1, 0.3, 20},
+	}
+	for _, c := range cases {
+		if _, err := NewPathLoss(c.refRate, c.refDist, c.alpha, c.minP, c.maxP, c.maxRange); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestPathLossMonotoneRate(t *testing.T) {
+	pl, _ := NewPathLoss(250e3, 20, 3, 0.170, 0.330, 200)
+	prev := math.Inf(1)
+	for d := 0.0; d <= 200; d += 5 {
+		l, ok := pl.LinkAt(d)
+		if !ok {
+			t.Fatalf("unexpectedly out of range at %v", d)
+		}
+		if l.Rate > prev+1e-9 {
+			t.Fatalf("rate increased with distance at %v", d)
+		}
+		prev = l.Rate
+	}
+}

@@ -1,0 +1,183 @@
+// Package relay implements the subsink architecture of the paper's related
+// work (Gao et al., its ref. [8]): sensors too far from the road to ever
+// hear the mobile sink forward their data to a nearby in-range sensor (a
+// "subsink"), which uploads on their behalf. The paper's own system is
+// strictly one-hop — far sensors are simply lost; this package quantifies
+// what that design choice costs and what relaying would cost in energy.
+//
+// The relay transfer happens between tours (the leaf pushes its backlog to
+// its subsink before the vehicle arrives), so its effect on the tour
+// problem is a transformation of the deployment: the leaf's data joins the
+// subsink's queue, the leaf pays transmit energy per bit, and the subsink
+// pays receive energy per bit out of the budget it would otherwise spend
+// uploading.
+package relay
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mobisink/internal/geom"
+	"mobisink/internal/network"
+	"mobisink/internal/radio"
+)
+
+// Params sets the leaf→subsink link energetics.
+type Params struct {
+	// Range is the maximum leaf-to-subsink distance, m.
+	Range float64
+	// TxJPerBit and RxJPerBit are the energy costs of forwarding one bit
+	// (classic first-order radio model magnitudes: tens of nJ/bit plus
+	// amplifier; defaults in DefaultParams are deliberately conservative).
+	TxJPerBit float64
+	RxJPerBit float64
+}
+
+// DefaultParams returns relay energetics in line with low-power 802.15.4
+// radios: 250 kbps at ~170 mW ⇒ ~0.7 µJ/bit each way.
+func DefaultParams() Params {
+	return Params{Range: 200, TxJPerBit: 0.7e-6, RxJPerBit: 0.7e-6}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Range <= 0 {
+		return errors.New("relay: range must be positive")
+	}
+	if p.TxJPerBit < 0 || p.RxJPerBit < 0 {
+		return errors.New("relay: negative per-bit energy")
+	}
+	return nil
+}
+
+// Assignment maps each sensor to its role in the relay forest.
+type Assignment struct {
+	// Subsink[i] is the in-range sensor that uploads for sensor i; -1 for
+	// sensors that are themselves in range (they are their own subsink)
+	// and -2 for unreachable sensors (no subsink within relay range).
+	Subsink []int
+	// Covered counts sensors whose data can reach the mobile sink
+	// (in-range + relayed).
+	Covered int
+	// Unreachable counts sensors lost even with relaying.
+	Unreachable int
+}
+
+const (
+	// SelfSubsink marks an in-range sensor.
+	SelfSubsink = -1
+	// Unreachable marks a sensor with no subsink in relay range.
+	Unreachable = -2
+)
+
+// Assign builds the relay forest: every sensor outside the mobile sink's
+// one-hop range attaches to the *nearest* in-range sensor within relay
+// range (the hop-count-minimizing choice of Gao et al. degenerates to
+// nearest-subsink for one relay hop).
+func Assign(dep *network.Deployment, model radio.Model, p Params) (*Assignment, error) {
+	if dep == nil {
+		return nil, errors.New("relay: nil deployment")
+	}
+	if err := dep.Validate(); err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, errors.New("relay: nil radio model")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	path := dep.Path()
+	r := model.Range()
+	n := len(dep.Sensors)
+	asg := &Assignment{Subsink: make([]int, n)}
+	inRange := make([]bool, n)
+	for i, s := range dep.Sensors {
+		_, d := geom.Nearest(path, s.Pos)
+		inRange[i] = d <= r
+	}
+	for i, s := range dep.Sensors {
+		if inRange[i] {
+			asg.Subsink[i] = SelfSubsink
+			asg.Covered++
+			continue
+		}
+		best, bestD := Unreachable, math.Inf(1)
+		for j, cand := range dep.Sensors {
+			if !inRange[j] || j == i {
+				continue
+			}
+			if d := s.Pos.Dist(cand.Pos); d <= p.Range && d < bestD {
+				best, bestD = j, d
+			}
+		}
+		asg.Subsink[i] = best
+		if best >= 0 {
+			asg.Covered++
+		} else {
+			asg.Unreachable++
+		}
+	}
+	return asg, nil
+}
+
+// Apply produces the transformed deployment and data caps seen by the tour
+// problem: leaves' queued data (caps[i]) moves to their subsinks, leaf
+// transmit energy is checked against the leaf budget (forwarding is
+// truncated if the leaf cannot afford it), and subsink receive energy is
+// debited from the subsink's budget. The returned deployment contains the
+// same sensors (leaves keep zero caps — they have nothing left to upload
+// directly and are out of range anyway).
+func Apply(dep *network.Deployment, asg *Assignment, caps []float64, p Params) (*network.Deployment, []float64, error) {
+	if dep == nil || asg == nil {
+		return nil, nil, errors.New("relay: nil deployment or assignment")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n := len(dep.Sensors)
+	if len(asg.Subsink) != n || len(caps) != n {
+		return nil, nil, fmt.Errorf("relay: size mismatch (%d sensors, %d roles, %d caps)",
+			n, len(asg.Subsink), len(caps))
+	}
+	out := *dep
+	out.Sensors = append([]network.Sensor(nil), dep.Sensors...)
+	newCaps := append([]float64(nil), caps...)
+	for i, sub := range asg.Subsink {
+		switch {
+		case sub == SelfSubsink:
+			continue
+		case sub == Unreachable:
+			newCaps[i] = 0 // data cannot reach the sink at all
+		case sub >= 0:
+			bits := caps[i]
+			// Leaf affordability: it can forward at most budget/TxJPerBit.
+			if p.TxJPerBit > 0 {
+				if max := dep.Sensors[i].Budget / p.TxJPerBit; bits > max {
+					bits = max
+				}
+			}
+			// Subsink affordability: receiving must leave energy ≥ 0; cap
+			// forwarded bits by the subsink budget too.
+			if p.RxJPerBit > 0 {
+				if max := out.Sensors[sub].Budget / p.RxJPerBit; bits > max {
+					bits = max
+				}
+			}
+			newCaps[sub] += bits
+			newCaps[i] = 0
+			out.Sensors[i].Budget -= bits * p.TxJPerBit
+			out.Sensors[sub].Budget -= bits * p.RxJPerBit
+			if out.Sensors[i].Budget < 0 {
+				out.Sensors[i].Budget = 0
+			}
+			if out.Sensors[sub].Budget < 0 {
+				out.Sensors[sub].Budget = 0
+			}
+		default:
+			return nil, nil, fmt.Errorf("relay: invalid subsink %d for sensor %d", sub, i)
+		}
+	}
+	return &out, newCaps, nil
+}

@@ -1,0 +1,183 @@
+package relay
+
+import (
+	"math"
+	"testing"
+
+	"mobisink/internal/core"
+	"mobisink/internal/geom"
+	"mobisink/internal/network"
+	"mobisink/internal/online"
+	"mobisink/internal/radio"
+)
+
+// wideDeployment places sensors up to 500 m from the road — far beyond the
+// 200 m radio range, so relaying matters.
+func wideDeployment(t *testing.T, n int, seed int64) *network.Deployment {
+	t.Helper()
+	dep, err := network.Generate(network.Params{N: n, PathLength: 3000, MaxOffset: 500, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dep.SetUniformBudgets(3)
+	return dep
+}
+
+func TestAssignValidation(t *testing.T) {
+	dep := wideDeployment(t, 10, 1)
+	if _, err := Assign(nil, radio.Paper2013(), DefaultParams()); err == nil {
+		t.Error("expected nil-deployment error")
+	}
+	if _, err := Assign(dep, nil, DefaultParams()); err == nil {
+		t.Error("expected nil-model error")
+	}
+	if _, err := Assign(dep, radio.Paper2013(), Params{Range: 0}); err == nil {
+		t.Error("expected params error")
+	}
+	if err := (Params{Range: 10, TxJPerBit: -1}).Validate(); err == nil {
+		t.Error("expected negative-energy error")
+	}
+}
+
+func TestAssignRoles(t *testing.T) {
+	dep := wideDeployment(t, 120, 2)
+	asg, err := Assign(dep, radio.Paper2013(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := dep.Path()
+	inRange, leaves, lost := 0, 0, 0
+	for i, role := range asg.Subsink {
+		_, d := geom.Nearest(path, dep.Sensors[i].Pos)
+		switch {
+		case role == SelfSubsink:
+			inRange++
+			if d > 200 {
+				t.Fatalf("sensor %d marked in-range at %v m", i, d)
+			}
+		case role == Unreachable:
+			lost++
+			if d <= 200 {
+				t.Fatalf("in-range sensor %d marked unreachable", i)
+			}
+		case role >= 0:
+			leaves++
+			if d <= 200 {
+				t.Fatalf("in-range sensor %d assigned a subsink", i)
+			}
+			if asg.Subsink[role] != SelfSubsink {
+				t.Fatalf("subsink %d of %d is not in range", role, i)
+			}
+			if dist := dep.Sensors[i].Pos.Dist(dep.Sensors[role].Pos); dist > DefaultParams().Range {
+				t.Fatalf("relay hop %v m exceeds relay range", dist)
+			}
+		}
+	}
+	if asg.Covered != inRange+leaves || asg.Unreachable != lost {
+		t.Fatalf("counters wrong: %+v vs %d/%d/%d", asg, inRange, leaves, lost)
+	}
+	if leaves == 0 {
+		t.Fatal("topology produced no relay leaves; test is vacuous")
+	}
+}
+
+func TestApplyMovesDataAndEnergy(t *testing.T) {
+	dep := wideDeployment(t, 120, 3)
+	p := DefaultParams()
+	asg, err := Assign(dep, radio.Paper2013(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := make([]float64, len(dep.Sensors))
+	for i := range caps {
+		caps[i] = 1e6 // 1 Mb queued everywhere
+	}
+	out, newCaps, err := Apply(dep, asg, caps, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalBefore := 0.0
+	totalAfter := 0.0
+	for i := range caps {
+		totalBefore += caps[i]
+		totalAfter += newCaps[i]
+		switch {
+		case asg.Subsink[i] >= 0: // leaf
+			if newCaps[i] != 0 {
+				t.Fatalf("leaf %d kept caps", i)
+			}
+			if out.Sensors[i].Budget > dep.Sensors[i].Budget {
+				t.Fatalf("leaf %d gained energy", i)
+			}
+		case asg.Subsink[i] == SelfSubsink:
+			if newCaps[i] < caps[i] {
+				t.Fatalf("subsink %d lost its own data", i)
+			}
+		case asg.Subsink[i] == Unreachable:
+			if newCaps[i] != 0 {
+				t.Fatalf("unreachable %d kept caps", i)
+			}
+		}
+	}
+	// Data is conserved up to unreachable and energy-truncated losses.
+	if totalAfter > totalBefore+1e-6 {
+		t.Fatalf("relaying created data: %v > %v", totalAfter, totalBefore)
+	}
+	// Size mismatch errors.
+	if _, _, err := Apply(dep, asg, caps[:3], p); err == nil {
+		t.Error("expected size error")
+	}
+}
+
+// End-to-end: relaying recovers data that the paper's one-hop design loses.
+func TestRelayingBeatsOneHop(t *testing.T) {
+	dep := wideDeployment(t, 150, 4)
+	p := DefaultParams()
+	caps := make([]float64, len(dep.Sensors))
+	for i := range caps {
+		caps[i] = 400e3
+	}
+	// One-hop (paper): far sensors' data is unreachable.
+	instOne, err := core.BuildInstance(dep, radio.Paper2013(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := instOne.SetDataCaps(caps); err != nil {
+		t.Fatal(err)
+	}
+	oneHop, err := online.Run(instOne, &online.Sequential{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relay-enabled.
+	asg, err := Assign(dep, radio.Paper2013(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayDep, relayCaps, err := Apply(dep, asg, caps, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instRelay, err := core.BuildInstance(relayDep, radio.Paper2013(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := instRelay.SetDataCaps(relayCaps); err != nil {
+		t.Fatal(err)
+	}
+	relayed, err := online.Run(instRelay, &online.Sequential{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := instRelay.Validate(relayed.Alloc); err != nil {
+		t.Fatal(err)
+	}
+	if relayed.Data <= oneHop.Data {
+		t.Errorf("relaying did not help: %v vs one-hop %v", relayed.Data, oneHop.Data)
+	}
+	if math.IsNaN(relayed.Data) {
+		t.Fatal("NaN throughput")
+	}
+	t.Logf("one-hop %.2f Mb, relayed %.2f Mb, covered %d/%d sensors",
+		oneHop.Data/1e6, relayed.Data/1e6, asg.Covered, len(dep.Sensors))
+}

@@ -1,0 +1,125 @@
+// Package sim is a minimal discrete-event simulation engine used to execute
+// the online distributed protocol (paper Algorithm 2): a time-ordered event
+// queue with stable FIFO ordering among simultaneous events, plus named
+// counters for message accounting.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Event is a callback executed at its scheduled simulation time.
+type Event func(now float64)
+
+type item struct {
+	at   float64
+	seq  uint64
+	name string
+	fn   Event
+}
+
+type queue []*item
+
+func (q queue) Len() int { return len(q) }
+func (q queue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq // FIFO among simultaneous events
+}
+func (q queue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *queue) Push(x interface{}) { *q = append(*q, x.(*item)) }
+func (q *queue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Engine is a single-threaded discrete-event executor. The zero value is
+// not usable; call NewEngine.
+type Engine struct {
+	q        queue
+	now      float64
+	seq      uint64
+	stopped  bool
+	executed int
+	counters map[string]int
+}
+
+// NewEngine returns an engine at time 0.
+func NewEngine() *Engine {
+	return &Engine{counters: make(map[string]int)}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Executed returns the number of events processed so far.
+func (e *Engine) Executed() int { return e.executed }
+
+// Schedule enqueues fn to run at absolute time at (≥ current time). name is
+// for diagnostics only.
+func (e *Engine) Schedule(at float64, name string, fn Event) error {
+	if fn == nil {
+		return errors.New("sim: nil event")
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		return fmt.Errorf("sim: invalid time %v", at)
+	}
+	if at < e.now {
+		return fmt.Errorf("sim: cannot schedule %q at %v before now %v", name, at, e.now)
+	}
+	e.seq++
+	heap.Push(&e.q, &item{at: at, seq: e.seq, name: name, fn: fn})
+	return nil
+}
+
+// After enqueues fn to run delay seconds from now.
+func (e *Engine) After(delay float64, name string, fn Event) error {
+	if delay < 0 {
+		return fmt.Errorf("sim: negative delay %v", delay)
+	}
+	return e.Schedule(e.now+delay, name, fn)
+}
+
+// Run executes events in time order until the queue drains or Stop is
+// called, returning the number of events executed in this call.
+func (e *Engine) Run() int {
+	e.stopped = false
+	n := 0
+	for len(e.q) > 0 && !e.stopped {
+		it := heap.Pop(&e.q).(*item)
+		e.now = it.at
+		it.fn(e.now)
+		n++
+		e.executed++
+	}
+	return n
+}
+
+// Stop halts Run after the current event returns; pending events remain
+// queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.q) }
+
+// Count adds n to the named counter (message accounting).
+func (e *Engine) Count(kind string, n int) { e.counters[kind] += n }
+
+// Counter returns the named counter's value.
+func (e *Engine) Counter(kind string) int { return e.counters[kind] }
+
+// Counters returns a copy of all counters.
+func (e *Engine) Counters() map[string]int {
+	cp := make(map[string]int, len(e.counters))
+	for k, v := range e.counters {
+		cp[k] = v
+	}
+	return cp
+}

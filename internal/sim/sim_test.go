@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScheduleValidation(t *testing.T) {
+	e := NewEngine()
+	if err := e.Schedule(1, "x", nil); err == nil {
+		t.Error("expected nil-event error")
+	}
+	if err := e.Schedule(math.NaN(), "x", func(float64) {}); err == nil {
+		t.Error("expected NaN error")
+	}
+	if err := e.Schedule(math.Inf(1), "x", func(float64) {}); err == nil {
+		t.Error("expected Inf error")
+	}
+	if err := e.After(-1, "x", func(float64) {}); err == nil {
+		t.Error("expected negative-delay error")
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	must(t, e.Schedule(3, "c", func(float64) { order = append(order, 3) }))
+	must(t, e.Schedule(1, "a", func(float64) { order = append(order, 1) }))
+	must(t, e.Schedule(2, "b", func(float64) { order = append(order, 2) }))
+	n := e.Run()
+	if n != 3 || e.Executed() != 3 {
+		t.Fatalf("executed %d events", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestFIFOAmongSimultaneous(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		must(t, e.Schedule(5, name, func(float64) { order = append(order, name) }))
+	}
+	e.Run()
+	if order[0] != "first" || order[1] != "second" || order[2] != "third" {
+		t.Fatalf("simultaneous events not FIFO: %v", order)
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	hits := 0
+	var chain func(now float64)
+	chain = func(now float64) {
+		hits++
+		if hits < 5 {
+			must(t, e.After(1, "chain", chain))
+		}
+	}
+	must(t, e.Schedule(0, "chain", chain))
+	e.Run()
+	if hits != 5 {
+		t.Fatalf("hits = %d", hits)
+	}
+	if e.Now() != 4 {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestPastSchedulingRejected(t *testing.T) {
+	e := NewEngine()
+	var innerErr error
+	must(t, e.Schedule(10, "x", func(now float64) {
+		innerErr = e.Schedule(5, "past", func(float64) {})
+	}))
+	e.Run()
+	if innerErr == nil {
+		t.Error("expected past-scheduling error")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	must(t, e.Schedule(1, "a", func(float64) { ran++; e.Stop() }))
+	must(t, e.Schedule(2, "b", func(float64) { ran++ }))
+	if n := e.Run(); n != 1 || ran != 1 {
+		t.Fatalf("Run after Stop executed %d events", n)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	// Run can resume.
+	if n := e.Run(); n != 1 || ran != 2 {
+		t.Fatalf("resume executed %d", n)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	e := NewEngine()
+	e.Count("probe", 1)
+	e.Count("probe", 2)
+	e.Count("ack", 5)
+	if e.Counter("probe") != 3 || e.Counter("ack") != 5 || e.Counter("none") != 0 {
+		t.Fatalf("counters = %v", e.Counters())
+	}
+	cp := e.Counters()
+	cp["probe"] = 100
+	if e.Counter("probe") != 3 {
+		t.Error("Counters must return a copy")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package srv implements the JSON-over-HTTP allocation service behind
+// cmd/allocserver: it parses a deployment + sink parameters, builds the
+// slot-allocation instance, runs the requested algorithm, and returns the
+// schedule with summary statistics.
+package srv
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"mobisink/internal/core"
+	"mobisink/internal/network"
+	"mobisink/internal/online"
+	"mobisink/internal/radio"
+)
+
+// Request is the /v1/allocate payload.
+type Request struct {
+	Deployment network.Deployment `json:"deployment"`
+	Speed      float64            `json:"speed"`    // r_s, m/s
+	SlotLen    float64            `json:"slot_len"` // τ, s
+	// Algorithm: offline_appro (default), offline_maxmatch,
+	// offline_greedy, offline_sequential, online_appro, online_maxmatch,
+	// online_greedy, online_sequential.
+	Algorithm string `json:"algorithm"`
+	// FixedPower switches to the fixed-transmission-power radio (W);
+	// 0 keeps the multi-rate table.
+	FixedPower float64 `json:"fixed_power"`
+	// DataCaps optionally bounds per-sensor uploads, bits.
+	DataCaps []float64 `json:"data_caps,omitempty"`
+	// Eps tunes the FPTAS when ForceFPTAS is set.
+	Eps        float64 `json:"eps"`
+	ForceFPTAS bool    `json:"force_fptas"`
+}
+
+// Response is the /v1/allocate result.
+type Response struct {
+	Algorithm    string  `json:"algorithm"`
+	Slots        int     `json:"slots"`
+	Gamma        int     `json:"gamma"`
+	DataMb       float64 `json:"data_mb"`
+	UpperBoundMb float64 `json:"upper_bound_mb"`
+	// SlotOwner[j] is the sensor transmitting in slot j, or -1.
+	SlotOwner []int `json:"slot_owner"`
+	// EnergyUsed[i] is sensor i's spend in Joules.
+	EnergyUsed []float64 `json:"energy_used"`
+	ElapsedMs  float64   `json:"elapsed_ms"`
+}
+
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...interface{}) error {
+	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+// NewMux returns the service's routing table.
+func NewMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/v1/allocate", handleAllocate)
+	return mux
+}
+
+func handleAllocate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := Allocate(&req)
+	if err != nil {
+		var he *httpError
+		if errors.As(err, &he) {
+			http.Error(w, he.msg, he.code)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// Allocate runs one allocation request (exported for tests and embedding).
+func Allocate(req *Request) (*Response, error) {
+	start := time.Now()
+	if req.Speed <= 0 || req.SlotLen <= 0 {
+		return nil, badRequest("speed and slot_len must be positive")
+	}
+	var model radio.Model = radio.Paper2013()
+	if req.FixedPower > 0 {
+		fp, err := radio.NewFixedPower(model, req.FixedPower)
+		if err != nil {
+			return nil, badRequest("fixed_power: %v", err)
+		}
+		model = fp
+	}
+	inst, err := core.BuildInstance(&req.Deployment, model, req.Speed, req.SlotLen)
+	if err != nil {
+		return nil, badRequest("instance: %v", err)
+	}
+	if req.DataCaps != nil {
+		if err := inst.SetDataCaps(req.DataCaps); err != nil {
+			return nil, badRequest("data_caps: %v", err)
+		}
+	}
+	opts := core.Options{Eps: req.Eps, ForceFPTAS: req.ForceFPTAS}
+	alg := req.Algorithm
+	if alg == "" {
+		alg = "offline_appro"
+	}
+	var alloc *core.Allocation
+	switch alg {
+	case "offline_appro":
+		alloc, err = core.OfflineAppro(inst, opts)
+	case "offline_maxmatch":
+		alloc, err = core.OfflineMaxMatch(inst)
+	case "offline_greedy":
+		alloc, err = core.OfflineGreedy(inst)
+	case "offline_sequential":
+		alloc, err = core.OfflineSequential(inst, opts)
+	case "online_appro":
+		alloc, err = runOnline(inst, &online.Appro{Opts: opts})
+	case "online_maxmatch":
+		alloc, err = runOnline(inst, &online.MaxMatch{})
+	case "online_greedy":
+		alloc, err = runOnline(inst, &online.Greedy{})
+	case "online_sequential":
+		alloc, err = runOnline(inst, &online.Sequential{Opts: opts})
+	default:
+		return nil, badRequest("unknown algorithm %q", alg)
+	}
+	if err != nil {
+		return nil, badRequest("%s: %v", alg, err)
+	}
+	if _, err := inst.Validate(alloc); err != nil {
+		return nil, fmt.Errorf("internal: produced infeasible allocation: %w", err)
+	}
+	return &Response{
+		Algorithm:    alg,
+		Slots:        inst.T,
+		Gamma:        inst.Gamma,
+		DataMb:       core.ThroughputMb(alloc.Data),
+		UpperBoundMb: core.ThroughputMb(inst.UpperBound()),
+		SlotOwner:    alloc.SlotOwner,
+		EnergyUsed:   inst.EnergyUsed(alloc),
+		ElapsedMs:    float64(time.Since(start).Microseconds()) / 1000,
+	}, nil
+}
+
+func runOnline(inst *core.Instance, sched online.Scheduler) (*core.Allocation, error) {
+	res, err := online.Run(inst, sched)
+	if err != nil {
+		return nil, err
+	}
+	return res.Alloc, nil
+}

@@ -1,0 +1,193 @@
+package srv
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mobisink/internal/energy"
+	"mobisink/internal/network"
+)
+
+func testDeployment(t *testing.T, n int) network.Deployment {
+	t.Helper()
+	dep, err := network.Generate(network.Params{N: n, PathLength: 2000, MaxOffset: 150, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	if err := dep.AssignSteadyStateBudgets(energy.PaperSolar(energy.Sunny), 3*400, 0.5, rng); err != nil {
+		t.Fatal(err)
+	}
+	return *dep
+}
+
+func postAllocate(t *testing.T, srv *httptest.Server, req Request) (*Response, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/allocate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp
+	}
+	var out Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out, resp
+}
+
+func TestHealthz(t *testing.T) {
+	srv := httptest.NewServer(NewMux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestAllocateAllAlgorithms(t *testing.T) {
+	srv := httptest.NewServer(NewMux())
+	defer srv.Close()
+	dep := testDeployment(t, 40)
+	for _, alg := range []string{
+		"offline_appro", "offline_greedy", "offline_sequential",
+		"online_appro", "online_greedy", "online_sequential",
+	} {
+		out, resp := postAllocate(t, srv, Request{
+			Deployment: dep, Speed: 5, SlotLen: 1, Algorithm: alg,
+		})
+		if out == nil {
+			t.Fatalf("%s: status %d", alg, resp.StatusCode)
+		}
+		if out.Algorithm != alg || out.DataMb <= 0 || len(out.SlotOwner) != out.Slots {
+			t.Errorf("%s: bad response %+v", alg, out)
+		}
+		if out.DataMb > out.UpperBoundMb+1e-6 {
+			t.Errorf("%s: data above upper bound", alg)
+		}
+		if len(out.EnergyUsed) != len(dep.Sensors) {
+			t.Errorf("%s: energy vector wrong length", alg)
+		}
+	}
+	// Matching algorithms need fixed power.
+	for _, alg := range []string{"offline_maxmatch", "online_maxmatch"} {
+		out, resp := postAllocate(t, srv, Request{
+			Deployment: dep, Speed: 5, SlotLen: 1, Algorithm: alg, FixedPower: 0.3,
+		})
+		if out == nil {
+			t.Fatalf("%s: status %d", alg, resp.StatusCode)
+		}
+		if out.DataMb <= 0 {
+			t.Errorf("%s: no data", alg)
+		}
+	}
+}
+
+func TestAllocateDataCaps(t *testing.T) {
+	srv := httptest.NewServer(NewMux())
+	defer srv.Close()
+	dep := testDeployment(t, 30)
+	caps := make([]float64, 30)
+	for i := range caps {
+		caps[i] = 50e3
+	}
+	out, resp := postAllocate(t, srv, Request{
+		Deployment: dep, Speed: 5, SlotLen: 1,
+		Algorithm: "offline_sequential", DataCaps: caps,
+	})
+	if out == nil {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.DataMb > 30*0.05+1e-9 {
+		t.Errorf("collected %v Mb above total caps", out.DataMb)
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	srv := httptest.NewServer(NewMux())
+	defer srv.Close()
+	dep := testDeployment(t, 10)
+
+	cases := []struct {
+		name string
+		req  Request
+		code int
+	}{
+		{"zero speed", Request{Deployment: dep, SlotLen: 1}, 400},
+		{"unknown alg", Request{Deployment: dep, Speed: 5, SlotLen: 1, Algorithm: "nope"}, 400},
+		{"maxmatch multi-rate", Request{Deployment: dep, Speed: 5, SlotLen: 1, Algorithm: "offline_maxmatch"}, 400},
+		{"bad caps", Request{Deployment: dep, Speed: 5, SlotLen: 1, DataCaps: []float64{1}}, 400},
+		{"negative fixed power", Request{Deployment: dep, Speed: 5, SlotLen: 1, FixedPower: -1}, 200}, // 0/neg = multi-rate... -1 ignored
+	}
+	for _, c := range cases {
+		out, resp := postAllocate(t, srv, c.req)
+		if c.code == 200 && out == nil {
+			t.Errorf("%s: status %d, want 200", c.name, resp.StatusCode)
+		}
+		if c.code != 200 && resp.StatusCode != c.code {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.code)
+		}
+	}
+	// Method and body handling.
+	resp, err := http.Get(srv.URL + "/v1/allocate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/v1/allocate", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad json status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/v1/allocate", "application/json", strings.NewReader(`{"surprise": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field status %d", resp.StatusCode)
+	}
+}
+
+// The service must be deterministic: identical requests, identical bytes.
+func TestAllocateDeterministic(t *testing.T) {
+	dep := testDeployment(t, 25)
+	req := Request{Deployment: dep, Speed: 5, SlotLen: 1, Algorithm: "online_appro"}
+	a, err := Allocate(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Allocate(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DataMb != b.DataMb {
+		t.Errorf("non-deterministic: %v vs %v", a.DataMb, b.DataMb)
+	}
+	for j := range a.SlotOwner {
+		if a.SlotOwner[j] != b.SlotOwner[j] {
+			t.Fatalf("slot %d differs", j)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package tour runs multi-tour campaigns: the mobile sink patrols the path
+// repeatedly while each sensor's battery follows the paper's recurrence
+// P_j(v) = min(P_{j-1}(v) + Q_{j-1}(v) − O_{j-1}(v), B(v)) between tour
+// starts (§II.B). It turns the single-tour solvers of core/online into a
+// long-horizon simulation: budgets are published from the energy accounts
+// at each tour start, an allocator plans the tour, and consumption is
+// debited while harvest accrues until the next departure.
+package tour
+
+import (
+	"errors"
+	"fmt"
+
+	"mobisink/internal/core"
+	"mobisink/internal/energy"
+	"mobisink/internal/network"
+	"mobisink/internal/online"
+	"mobisink/internal/radio"
+	"mobisink/internal/traffic"
+)
+
+// Allocator plans one tour on a freshly built instance.
+type Allocator func(*core.Instance) (*core.Allocation, error)
+
+// OnlineAllocator adapts an online scheduler into an Allocator.
+func OnlineAllocator(s online.Scheduler) Allocator {
+	return func(inst *core.Instance) (*core.Allocation, error) {
+		res, err := online.Run(inst, s)
+		if err != nil {
+			return nil, err
+		}
+		return res.Alloc, nil
+	}
+}
+
+// OfflineAllocator adapts core.OfflineAppro into an Allocator.
+func OfflineAllocator(opts core.Options) Allocator {
+	return func(inst *core.Instance) (*core.Allocation, error) {
+		return core.OfflineAppro(inst, opts)
+	}
+}
+
+// Plan describes a multi-tour campaign.
+type Plan struct {
+	Deployment *network.Deployment
+	Model      radio.Model
+	Speed      float64 // r_s, m/s
+	SlotLen    float64 // τ, s
+	// Period is the time between consecutive tour starts; it must be at
+	// least the tour duration (path length / speed).
+	Period   float64
+	Allocate Allocator
+	// Traffic, when non-nil, drives finite per-sensor data queues: new
+	// detections accumulate into each sensor's backlog between tour
+	// starts, tours may upload at most the backlog
+	// (core.Instance.SetDataCaps), and undelivered data carries over. The
+	// Allocator must then be data-cap aware (e.g.
+	// OnlineAllocator(&online.Sequential{}) or
+	// OfflineAllocator via core.OfflineSequential).
+	Traffic *traffic.Params
+}
+
+// TourStats summarizes one tour.
+type TourStats struct {
+	Tour       int
+	StartTime  float64 // absolute seconds since campaign start
+	DataBits   float64
+	MeanBudget float64 // mean stored energy at tour start, J
+	Active     int     // sensors that transmitted
+	EnergyUsed float64 // total energy spent this tour, J
+	// BacklogBits is the total queued data at tour start (0 when the
+	// campaign runs the paper's unbounded-data model).
+	BacklogBits float64
+}
+
+// Result aggregates a campaign.
+type Result struct {
+	Tours     []TourStats
+	TotalBits float64
+}
+
+// Run executes `tours` consecutive tours. accounts[i] is sensor i's energy
+// account; its state is advanced in place.
+func Run(plan Plan, accounts []*energy.Account, tours int) (*Result, error) {
+	if plan.Deployment == nil {
+		return nil, errors.New("tour: nil deployment")
+	}
+	if plan.Model == nil {
+		return nil, errors.New("tour: nil radio model")
+	}
+	if plan.Allocate == nil {
+		return nil, errors.New("tour: nil allocator")
+	}
+	if tours <= 0 {
+		return nil, fmt.Errorf("tour: tour count must be positive, got %d", tours)
+	}
+	if len(accounts) != len(plan.Deployment.Sensors) {
+		return nil, fmt.Errorf("tour: %d accounts for %d sensors", len(accounts), len(plan.Deployment.Sensors))
+	}
+	for i, a := range accounts {
+		if a == nil {
+			return nil, fmt.Errorf("tour: nil account for sensor %d", i)
+		}
+	}
+	if plan.Speed <= 0 || plan.SlotLen <= 0 {
+		return nil, errors.New("tour: speed and slot length must be positive")
+	}
+	duration := plan.Deployment.PathLength / plan.Speed
+	if plan.Period < duration {
+		return nil, fmt.Errorf("tour: period %v shorter than tour duration %v", plan.Period, duration)
+	}
+
+	res := &Result{}
+	var queues []float64
+	if plan.Traffic != nil {
+		queues = make([]float64, len(plan.Deployment.Sensors))
+	}
+	for t := 0; t < tours; t++ {
+		stats := TourStats{Tour: t, StartTime: accounts[0].Now()}
+		for i := range plan.Deployment.Sensors {
+			b := accounts[i].Budget()
+			plan.Deployment.Sensors[i].Budget = b
+			stats.MeanBudget += b
+		}
+		stats.MeanBudget /= float64(len(accounts))
+
+		inst, err := core.BuildInstance(plan.Deployment, plan.Model, plan.Speed, plan.SlotLen)
+		if err != nil {
+			return nil, fmt.Errorf("tour %d: %w", t, err)
+		}
+		if queues != nil {
+			// New detections since the previous tour start join the
+			// backlog; the backlog caps this tour's uploads.
+			fresh, err := traffic.Load(plan.Deployment, *plan.Traffic,
+				stats.StartTime-plan.Period, stats.StartTime)
+			if err != nil {
+				return nil, fmt.Errorf("tour %d: %w", t, err)
+			}
+			for i := range queues {
+				queues[i] += fresh[i]
+				stats.BacklogBits += queues[i]
+			}
+			if err := inst.SetDataCaps(queues); err != nil {
+				return nil, fmt.Errorf("tour %d: %w", t, err)
+			}
+		}
+		alloc, err := plan.Allocate(inst)
+		if err != nil {
+			return nil, fmt.Errorf("tour %d: %w", t, err)
+		}
+		if _, err := inst.Validate(alloc); err != nil {
+			return nil, fmt.Errorf("tour %d: allocator produced infeasible plan: %w", t, err)
+		}
+		used := inst.EnergyUsed(alloc)
+		for i := range accounts {
+			if used[i] > 0 {
+				stats.Active++
+				stats.EnergyUsed += used[i]
+			}
+			if err := accounts[i].EndTour(plan.Period, used[i]); err != nil {
+				return nil, fmt.Errorf("tour %d sensor %d: %w", t, i, err)
+			}
+		}
+		if queues != nil {
+			// Drain the uploaded bits from each sensor's backlog.
+			for j, owner := range alloc.SlotOwner {
+				if owner >= 0 {
+					queues[owner] -= inst.Sensors[owner].RateAt(j) * inst.Tau
+				}
+			}
+			for i := range queues {
+				if queues[i] < 0 {
+					queues[i] = 0 // float noise
+				}
+			}
+		}
+		stats.DataBits = alloc.Data
+		res.TotalBits += alloc.Data
+		res.Tours = append(res.Tours, stats)
+	}
+	return res, nil
+}
+
+// UniformAccounts builds one energy account per sensor with identical
+// batteries and per-sensor harvesters produced by mk (called with the
+// sensor index, so callers can vary efficiency or noise seeds).
+func UniformAccounts(dep *network.Deployment, capacity, initial float64, mk func(i int) energy.Harvester) ([]*energy.Account, error) {
+	if dep == nil {
+		return nil, errors.New("tour: nil deployment")
+	}
+	if mk == nil {
+		return nil, errors.New("tour: nil harvester factory")
+	}
+	accounts := make([]*energy.Account, len(dep.Sensors))
+	for i := range accounts {
+		b, err := energy.NewBattery(capacity, initial)
+		if err != nil {
+			return nil, err
+		}
+		h := mk(i)
+		if h == nil {
+			return nil, fmt.Errorf("tour: factory returned nil harvester for sensor %d", i)
+		}
+		accounts[i], err = energy.NewAccount(b, h, 0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return accounts, nil
+}

@@ -1,0 +1,188 @@
+package tour
+
+import (
+	"testing"
+
+	"mobisink/internal/core"
+	"mobisink/internal/energy"
+	"mobisink/internal/network"
+	"mobisink/internal/online"
+	"mobisink/internal/radio"
+	"mobisink/internal/traffic"
+)
+
+func basePlan(t *testing.T, n int) (Plan, []*energy.Account) {
+	t.Helper()
+	dep, err := network.Generate(network.Params{N: n, PathLength: 2000, MaxOffset: 150, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accounts, err := UniformAccounts(dep, energy.PaperBatteryCapacityJ, 3.0,
+		func(i int) energy.Harvester { return energy.PaperSolar(energy.Sunny) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Plan{
+		Deployment: dep,
+		Model:      radio.Paper2013(),
+		Speed:      5,
+		SlotLen:    1,
+		Period:     3600,
+		Allocate:   OnlineAllocator(&online.Appro{}),
+	}, accounts
+}
+
+func TestRunValidation(t *testing.T) {
+	plan, accounts := basePlan(t, 20)
+	cases := []struct {
+		name   string
+		mutate func(*Plan, *[]*energy.Account, *int)
+	}{
+		{"nil deployment", func(p *Plan, _ *[]*energy.Account, _ *int) { p.Deployment = nil }},
+		{"nil model", func(p *Plan, _ *[]*energy.Account, _ *int) { p.Model = nil }},
+		{"nil allocator", func(p *Plan, _ *[]*energy.Account, _ *int) { p.Allocate = nil }},
+		{"zero tours", func(_ *Plan, _ *[]*energy.Account, n *int) { *n = 0 }},
+		{"account mismatch", func(_ *Plan, a *[]*energy.Account, _ *int) { *a = (*a)[:5] }},
+		{"nil account", func(_ *Plan, a *[]*energy.Account, _ *int) { (*a)[3] = nil }},
+		{"zero speed", func(p *Plan, _ *[]*energy.Account, _ *int) { p.Speed = 0 }},
+		{"short period", func(p *Plan, _ *[]*energy.Account, _ *int) { p.Period = 10 }},
+	}
+	for _, c := range cases {
+		p := plan
+		a := append([]*energy.Account(nil), accounts...)
+		tours := 2
+		c.mutate(&p, &a, &tours)
+		if _, err := Run(p, a, tours); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestRunCampaign(t *testing.T) {
+	plan, accounts := basePlan(t, 30)
+	res, err := Run(plan, accounts, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tours) != 6 {
+		t.Fatalf("tours = %d", len(res.Tours))
+	}
+	total := 0.0
+	for i, ts := range res.Tours {
+		if ts.Tour != i {
+			t.Errorf("tour index %d != %d", ts.Tour, i)
+		}
+		if ts.StartTime != float64(i)*plan.Period {
+			t.Errorf("tour %d start %v, want %v", i, ts.StartTime, float64(i)*plan.Period)
+		}
+		if ts.DataBits < 0 || ts.MeanBudget < 0 {
+			t.Errorf("tour %d has negative stats: %+v", i, ts)
+		}
+		if ts.Active > 30 {
+			t.Errorf("tour %d active %d > n", i, ts.Active)
+		}
+		total += ts.DataBits
+	}
+	if total != res.TotalBits {
+		t.Errorf("total %v != sum %v", res.TotalBits, total)
+	}
+	if res.TotalBits <= 0 {
+		t.Error("campaign collected nothing")
+	}
+	// Battery levels stay within bounds.
+	for i, a := range accounts {
+		if a.Budget() < 0 || a.Budget() > energy.PaperBatteryCapacityJ {
+			t.Errorf("sensor %d budget %v out of range", i, a.Budget())
+		}
+		if a.Now() != 6*plan.Period {
+			t.Errorf("sensor %d time %v", i, a.Now())
+		}
+	}
+}
+
+func TestOfflineAllocatorCampaign(t *testing.T) {
+	plan, accounts := basePlan(t, 25)
+	plan.Allocate = OfflineAllocator(core.Options{})
+	res, err := Run(plan, accounts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBits <= 0 {
+		t.Error("offline campaign collected nothing")
+	}
+}
+
+// Offline planning must collect at least as much as the online protocol on
+// the first tour (same initial budgets).
+func TestOfflineBeatsOnlineFirstTour(t *testing.T) {
+	planA, accountsA := basePlan(t, 40)
+	planA.Allocate = OfflineAllocator(core.Options{})
+	offline, err := Run(planA, accountsA, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planB, accountsB := basePlan(t, 40)
+	onlineRes, err := Run(planB, accountsB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onlineRes.TotalBits > offline.TotalBits*1.01 {
+		t.Errorf("online %v above offline %v", onlineRes.TotalBits, offline.TotalBits)
+	}
+}
+
+func TestUniformAccountsValidation(t *testing.T) {
+	dep, _ := network.Generate(network.Params{N: 5, PathLength: 500, MaxOffset: 50, Seed: 1})
+	if _, err := UniformAccounts(nil, 10, 1, func(int) energy.Harvester { return energy.Constant{P: 1} }); err == nil {
+		t.Error("expected nil-deployment error")
+	}
+	if _, err := UniformAccounts(dep, 10, 1, nil); err == nil {
+		t.Error("expected nil-factory error")
+	}
+	if _, err := UniformAccounts(dep, 10, 1, func(int) energy.Harvester { return nil }); err == nil {
+		t.Error("expected nil-harvester error")
+	}
+	if _, err := UniformAccounts(dep, 0, 1, func(int) energy.Harvester { return energy.Constant{P: 1} }); err == nil {
+		t.Error("expected battery error")
+	}
+	accounts, err := UniformAccounts(dep, 10, 4, func(int) energy.Harvester { return energy.Constant{P: 1} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accounts) != 5 || accounts[0].Budget() != 4 {
+		t.Errorf("accounts wrong: %d, budget %v", len(accounts), accounts[0].Budget())
+	}
+}
+
+// A traffic-driven campaign: queues accumulate, cap uploads, and drain.
+func TestRunWithTrafficQueues(t *testing.T) {
+	plan, accounts := basePlan(t, 25)
+	plan.Allocate = OnlineAllocator(&online.Sequential{})
+	plan.Traffic = &traffic.Params{
+		ArrivalRate: 0.02, MeanSpeed: 25, SpeedStdDev: 3,
+		DetectRange: 150, BitsPerDetection: 30e3, Seed: 3,
+	}
+	res, err := Run(plan, accounts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBits <= 0 {
+		t.Fatal("capped campaign collected nothing")
+	}
+	for _, ts := range res.Tours {
+		if ts.BacklogBits < 0 {
+			t.Fatalf("tour %d negative backlog", ts.Tour)
+		}
+		// A tour can never deliver more than was ever generated up to it.
+		if ts.DataBits > ts.BacklogBits+1e-6 {
+			t.Fatalf("tour %d delivered %v > backlog %v", ts.Tour, ts.DataBits, ts.BacklogBits)
+		}
+	}
+	// A cap-oblivious allocator must be rejected by the online runner.
+	plan2, accounts2 := basePlan(t, 25)
+	plan2.Allocate = OnlineAllocator(&online.Appro{})
+	plan2.Traffic = plan.Traffic
+	if _, err := Run(plan2, accounts2, 1); err == nil {
+		t.Error("expected cap-awareness rejection")
+	}
+}

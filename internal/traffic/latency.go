@@ -1,0 +1,130 @@
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mobisink/internal/core"
+	"mobisink/internal/geom"
+	"mobisink/internal/network"
+)
+
+// LatencyStats summarizes data-delivery latency — the time from a
+// detection being sensed to its last bit reaching the mobile sink. The
+// paper argues the core trade-off qualitatively ("a higher speed leads to
+// a shorter delay ... but less data collected per tour", §VII.C); this
+// makes it measurable.
+type LatencyStats struct {
+	Detections  int     // detections generated in the horizon
+	Delivered   int     // fully uploaded during the tour
+	MeanDelay   float64 // seconds, over delivered detections
+	MedianDelay float64
+	P95Delay    float64
+	MaxDelay    float64
+}
+
+// DeliveryLatency replays one tour against the traffic workload: sensor
+// queues hold their detections FIFO (bits), each allocated slot drains
+// r_{i,j}·τ bits at the slot's midpoint time, and a detection counts as
+// delivered when its last bit is uploaded. tourStart is the absolute time
+// the tour begins; detections are generated over [genStart, tourStart+tour]
+// so data sensed mid-tour can still be collected later in the tour.
+func DeliveryLatency(dep *network.Deployment, p Params, inst *core.Instance, alloc *core.Allocation, genStart, tourStart float64) (LatencyStats, error) {
+	if dep == nil || inst == nil || alloc == nil {
+		return LatencyStats{}, errors.New("traffic: nil deployment, instance or allocation")
+	}
+	if len(alloc.SlotOwner) != inst.T {
+		return LatencyStats{}, fmt.Errorf("traffic: allocation covers %d slots, instance has %d", len(alloc.SlotOwner), inst.T)
+	}
+	tourEnd := tourStart + float64(inst.T)*inst.Tau
+	if genStart >= tourEnd {
+		return LatencyStats{}, fmt.Errorf("traffic: generation window [%v, %v) empty", genStart, tourEnd)
+	}
+	vehicles, err := Stream(p, genStart, tourEnd)
+	if err != nil {
+		return LatencyStats{}, err
+	}
+	path := dep.Path()
+
+	// Per-sensor detection times (ascending by construction per vehicle,
+	// but vehicles interleave — sort per sensor).
+	n := len(inst.Sensors)
+	detections := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		s := &inst.Sensors[i]
+		if s.Start < 0 {
+			continue
+		}
+		arc, d := geom.Nearest(path, s.Pos)
+		if d > p.DetectRange {
+			continue
+		}
+		for _, v := range vehicles {
+			pass := v.Enter + arc/v.Speed
+			if pass < tourEnd {
+				detections[i] = append(detections[i], pass)
+			}
+		}
+		sort.Float64s(detections[i])
+	}
+
+	stats := LatencyStats{}
+	var delays []float64
+	for i := 0; i < n; i++ {
+		stats.Detections += len(detections[i])
+		if len(detections[i]) == 0 {
+			continue
+		}
+		s := &inst.Sensors[i]
+		// Slots owned by sensor i, in time order.
+		queueHead := 0   // next undelivered detection
+		remaining := 0.0 // bits of the head detection still queued
+		if len(detections[i]) > 0 {
+			remaining = p.BitsPerDetection
+		}
+		for j := s.Start; j <= s.End && queueHead < len(detections[i]); j++ {
+			if alloc.SlotOwner[j] != i {
+				continue
+			}
+			slotTime := tourStart + (float64(j)+0.5)*inst.Tau
+			budget := s.RateAt(j) * inst.Tau // bits drained this slot
+			for budget > 0 && queueHead < len(detections[i]) {
+				gen := detections[i][queueHead]
+				if gen > slotTime {
+					break // not sensed yet at this slot
+				}
+				if remaining <= budget {
+					budget -= remaining
+					delays = append(delays, slotTime-gen)
+					queueHead++
+					remaining = p.BitsPerDetection
+				} else {
+					remaining -= budget
+					budget = 0
+				}
+			}
+		}
+	}
+	stats.Delivered = len(delays)
+	if len(delays) == 0 {
+		return stats, nil
+	}
+	sort.Float64s(delays)
+	sum := 0.0
+	for _, d := range delays {
+		sum += d
+		if d > stats.MaxDelay {
+			stats.MaxDelay = d
+		}
+	}
+	stats.MeanDelay = sum / float64(len(delays))
+	stats.MedianDelay = delays[len(delays)/2]
+	p95 := int(math.Ceil(0.95*float64(len(delays)))) - 1
+	if p95 < 0 {
+		p95 = 0
+	}
+	stats.P95Delay = delays[p95]
+	return stats, nil
+}

@@ -1,0 +1,107 @@
+package traffic
+
+import (
+	"testing"
+
+	"mobisink/internal/core"
+	"mobisink/internal/network"
+	"mobisink/internal/radio"
+)
+
+func latencySetup(t *testing.T, speed float64) (*network.Deployment, *core.Instance, *core.Allocation, Params) {
+	t.Helper()
+	dep, err := network.Generate(network.Params{N: 60, PathLength: 3000, MaxOffset: 100, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dep.SetUniformBudgets(4)
+	inst, err := core.BuildInstance(dep, radio.Paper2013(), speed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := core.OfflineAppro(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := baseParams()
+	p.ArrivalRate = 0.05
+	return dep, inst, alloc, p
+}
+
+func TestDeliveryLatencyValidation(t *testing.T) {
+	dep, inst, alloc, p := latencySetup(t, 5)
+	if _, err := DeliveryLatency(nil, p, inst, alloc, 0, 0); err == nil {
+		t.Error("expected nil-deployment error")
+	}
+	if _, err := DeliveryLatency(dep, p, inst, nil, 0, 0); err == nil {
+		t.Error("expected nil-allocation error")
+	}
+	bad := &core.Allocation{SlotOwner: make([]int, 3)}
+	if _, err := DeliveryLatency(dep, p, inst, bad, 0, 0); err == nil {
+		t.Error("expected length error")
+	}
+	if _, err := DeliveryLatency(dep, p, inst, alloc, 1e9, 0); err == nil {
+		t.Error("expected empty-window error")
+	}
+}
+
+func TestDeliveryLatencyBasics(t *testing.T) {
+	dep, inst, alloc, p := latencySetup(t, 5)
+	// Generate data for an hour before the tour plus the tour itself.
+	st, err := DeliveryLatency(dep, p, inst, alloc, -3600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Detections == 0 {
+		t.Fatal("no detections generated")
+	}
+	if st.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if st.Delivered > st.Detections {
+		t.Fatalf("delivered %d > generated %d", st.Delivered, st.Detections)
+	}
+	if st.MeanDelay <= 0 || st.MaxDelay < st.MeanDelay || st.P95Delay < st.MedianDelay {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+	// Delay is bounded by generation window + tour duration.
+	if st.MaxDelay > 3600+float64(inst.T)*inst.Tau+1 {
+		t.Fatalf("max delay %v beyond horizon", st.MaxDelay)
+	}
+}
+
+// The paper's trade-off: a faster sink delivers sensed data sooner (lower
+// latency) but collects less per tour.
+func TestFasterSinkLowersLatency(t *testing.T) {
+	depS, instS, allocS, p := latencySetup(t, 5)
+	slow, err := DeliveryLatency(depS, p, instS, allocS, -1800, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depF, instF, allocF, _ := latencySetup(t, 20)
+	fast, err := DeliveryLatency(depF, p, instF, allocF, -1800, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.MeanDelay >= slow.MeanDelay {
+		t.Errorf("fast sink mean delay %v not below slow %v", fast.MeanDelay, slow.MeanDelay)
+	}
+	if allocF.Data >= allocS.Data {
+		t.Errorf("fast sink collected %v ≥ slow %v — per-tour volume should drop", allocF.Data, allocS.Data)
+	}
+}
+
+func TestDeliveryLatencyDeterministic(t *testing.T) {
+	dep, inst, alloc, p := latencySetup(t, 5)
+	a, err := DeliveryLatency(dep, p, inst, alloc, -600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DeliveryLatency(dep, p, inst, alloc, -600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("non-deterministic: %+v vs %+v", a, b)
+	}
+}

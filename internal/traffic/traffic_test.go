@@ -1,0 +1,219 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"mobisink/internal/core"
+	"mobisink/internal/geom"
+	"mobisink/internal/network"
+	"mobisink/internal/radio"
+)
+
+func baseParams() Params {
+	return Params{
+		ArrivalRate:      0.1,
+		MeanSpeed:        25,
+		SpeedStdDev:      4,
+		DetectRange:      60,
+		BitsPerDetection: 200e3,
+		Seed:             1,
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.ArrivalRate = 0 },
+		func(p *Params) { p.MeanSpeed = 0 },
+		func(p *Params) { p.SpeedStdDev = -1 },
+		func(p *Params) { p.DetectRange = 0 },
+		func(p *Params) { p.BitsPerDetection = 0 },
+	}
+	for i, mutate := range cases {
+		p := baseParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestStreamStatistics(t *testing.T) {
+	p := baseParams()
+	const horizon = 40000.0
+	vs, err := Stream(p, 0, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poisson mean λ·H = 4000; allow ±5σ.
+	mean := p.ArrivalRate * horizon
+	if float64(len(vs)) < mean-5*math.Sqrt(mean) || float64(len(vs)) > mean+5*math.Sqrt(mean) {
+		t.Errorf("vehicles = %d, want ≈ %v", len(vs), mean)
+	}
+	prev := 0.0
+	speedSum := 0.0
+	for _, v := range vs {
+		if v.Enter < prev {
+			t.Fatal("entries not time-ordered")
+		}
+		prev = v.Enter
+		if v.Speed < p.MeanSpeed/4 {
+			t.Fatalf("speed %v below truncation floor", v.Speed)
+		}
+		speedSum += v.Speed
+	}
+	if avg := speedSum / float64(len(vs)); math.Abs(avg-p.MeanSpeed) > 1 {
+		t.Errorf("mean speed %v, want ≈ %v", avg, p.MeanSpeed)
+	}
+	// Determinism.
+	vs2, _ := Stream(p, 0, horizon)
+	if len(vs) != len(vs2) || vs[0] != vs2[0] {
+		t.Error("stream not reproducible")
+	}
+	// Empty horizon.
+	if _, err := Stream(p, 10, 10); err == nil {
+		t.Error("expected horizon error")
+	}
+}
+
+func TestRushHourProfile(t *testing.T) {
+	prof := RushHour()
+	peak := prof(8 * 3600)
+	night := prof(3 * 3600)
+	if peak <= night {
+		t.Errorf("rush hour %v not above night %v", peak, night)
+	}
+	for _, tm := range []float64{0, 4 * 3600, 8 * 3600, 12 * 3600, 17.5 * 3600, 23 * 3600, 100000} {
+		v := prof(tm)
+		if v < 0 || v > 1 {
+			t.Fatalf("profile(%v) = %v outside [0,1]", tm, v)
+		}
+	}
+	if prof(-3600) != prof(86400-3600) {
+		t.Error("profile must wrap")
+	}
+	// Thinned stream has fewer vehicles than the homogeneous one.
+	p := baseParams()
+	full, _ := Stream(p, 0, 86400)
+	p.RateProfile = prof
+	thinned, err := Stream(p, 0, 86400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(thinned) >= len(full) {
+		t.Errorf("thinned %d not below full %d", len(thinned), len(full))
+	}
+	// Invalid profile values are rejected.
+	p.RateProfile = func(float64) float64 { return 2 }
+	if _, err := Stream(p, 0, 1000); err == nil {
+		t.Error("expected profile-range error")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	dep, err := network.Generate(network.Params{N: 80, PathLength: 5000, MaxOffset: 150, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := baseParams()
+	caps, err := Load(dep, p, 0, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caps) != 80 {
+		t.Fatalf("caps length %d", len(caps))
+	}
+	vs, _ := Stream(p, 0, 3600)
+	sum := Summarize(caps, vs, p.BitsPerDetection)
+	if sum.Vehicles == 0 || sum.TotalBits == 0 {
+		t.Fatalf("empty load: %+v", sum)
+	}
+	// Sensors beyond detect range get nothing; in-range near the entrance
+	// see nearly every vehicle that entered early enough.
+	for i, s := range dep.Sensors {
+		if math.Abs(s.Pos.Y) > p.DetectRange && caps[i] != 0 {
+			t.Fatalf("sensor %d out of detect range but loaded", i)
+		}
+		if caps[i] < 0 {
+			t.Fatal("negative load")
+		}
+		// Loads are integer multiples of BitsPerDetection.
+		k := caps[i] / p.BitsPerDetection
+		if math.Abs(k-math.Round(k)) > 1e-9 {
+			t.Fatalf("load %v not a detection multiple", caps[i])
+		}
+	}
+	// Determinism.
+	caps2, _ := Load(dep, p, 0, 3600)
+	for i := range caps {
+		if caps[i] != caps2[i] {
+			t.Fatal("load not reproducible")
+		}
+	}
+	if _, err := Load(nil, p, 0, 100); err == nil {
+		t.Error("expected nil-deployment error")
+	}
+}
+
+// Upstream sensors accumulate at least as many detections as downstream
+// ones over long horizons (every vehicle passes them first).
+func TestLoadMonotoneAlongRoad(t *testing.T) {
+	dep := &network.Deployment{PathLength: 5000, MaxOffset: 0, Sensors: []network.Sensor{
+		{ID: 0, Pos: pos(100, 0)},
+		{ID: 1, Pos: pos(2500, 0)},
+		{ID: 2, Pos: pos(4900, 0)},
+	}}
+	p := baseParams()
+	caps, err := Load(dep, p, 0, 7200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps[0] < caps[1] || caps[1] < caps[2] {
+		t.Errorf("loads not monotone along the road: %v", caps)
+	}
+}
+
+// End-to-end: traffic loads as data caps change the optimizer's behaviour.
+func TestLoadDrivesDataCaps(t *testing.T) {
+	dep, err := network.Generate(network.Params{N: 50, PathLength: 2000, MaxOffset: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dep.SetUniformBudgets(3)
+	inst, err := core.BuildInstance(dep, radio.Paper2013(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncapped, err := core.OfflineSequential(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := baseParams()
+	p.ArrivalRate = 0.002 // very light traffic → tight caps
+	caps, err := Load(dep, p, 0, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.SetDataCaps(caps); err != nil {
+		t.Fatal(err)
+	}
+	capped, err := core.OfflineSequential(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Validate(capped); err != nil {
+		t.Fatalf("capped allocation infeasible: %v", err)
+	}
+	if capped.Data > uncapped.Data+1e-6 {
+		t.Errorf("caps cannot increase throughput: %v vs %v", capped.Data, uncapped.Data)
+	}
+	total := 0.0
+	for _, c := range caps {
+		total += c
+	}
+	if capped.Data > total+1e-6 {
+		t.Errorf("collected %v above total available %v", capped.Data, total)
+	}
+}
+
+func pos(x, y float64) geom.Point { return geom.Point{X: x, Y: y} }
