@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench cover experiments examples clean
+.PHONY: all build test test-race vet bench cover experiments examples clean
 
 all: build vet test
 
@@ -14,6 +14,14 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Tier-1 gate for the concurrent packages (internal/jobs, internal/cache,
+# internal/parallel, internal/srv): the full suite under the race
+# detector, plus vet. Run before merging anything that touches goroutines,
+# channels, or shared state.
+test-race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

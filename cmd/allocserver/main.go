@@ -1,22 +1,45 @@
-// Command allocserver exposes the slot allocator as a small JSON-over-HTTP
+// Command allocserver exposes the slot allocator as a JSON-over-HTTP
 // service, so non-Go planners (e.g. the vehicle's onboard computer) can
 // request tour schedules.
+//
+// Synchronous path (served through an LRU result cache with
+// single-flight deduplication — identical concurrent requests compute
+// once):
 //
 //	POST /v1/allocate   {"deployment": {...}, "speed": 5, "slot_len": 1,
 //	                     "algorithm": "offline_appro", "fixed_power": 0,
 //	                     "data_caps": [...]}
 //	  → {"algorithm": ..., "data_mb": ..., "slot_owner": [...], ...}
-//	GET  /v1/healthz    → ok
 //
-// The server is stateless; every request carries its full topology.
+// Asynchronous path (bounded FIFO queue + fixed worker pool; a full
+// queue rejects with 429):
 //
-//	allocserver -addr :8080
+//	POST   /v1/jobs       {"request": {...}, "timeout_ms": 0}
+//	  → 202 {"id": "j1", "state": "queued"}
+//	GET    /v1/jobs/{id}  → {"id", "state", "result", "error", ...}
+//	DELETE /v1/jobs/{id}  → cancel (a queued job never runs)
+//	POST   /v1/batch      {"requests": [...]} → results in input order
+//
+// Operational endpoints:
+//
+//	GET /v1/healthz  → ok
+//	GET /v1/version  → build info + pool/queue/cache sizing
+//
+// The server holds no topology state; every request carries its full
+// deployment. On SIGINT/SIGTERM it stops accepting work and drains
+// queued and running jobs for up to -drain-timeout.
+//
+//	allocserver -addr :8080 -workers 8 -queue-depth 128 -cache-entries 512
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mobisink/internal/srv"
@@ -24,15 +47,52 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "solver worker pool size (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 64, "max queued jobs before 429")
+	cacheEntries := flag.Int("cache-entries", 256, "LRU result cache size")
+	maxBody := flag.Int64("max-body-bytes", 8<<20, "request body cap in bytes (413 beyond)")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
 	flag.Parse()
-	mux := srv.NewMux()
+
+	server := srv.New(srv.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+		MaxBodyBytes: *maxBody,
+		JobTimeout:   *jobTimeout,
+	})
 	s := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           server.Mux(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      120 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.ListenAndServe() }()
 	log.Printf("allocserver listening on %s", *addr)
-	log.Fatal(s.ListenAndServe())
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received, draining for up to %v", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := server.Close(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("queue drain: %v", err)
+	} else if err != nil {
+		log.Printf("drain budget exceeded, canceled remaining jobs")
+	}
+	log.Printf("allocserver stopped")
 }

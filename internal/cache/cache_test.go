@@ -1,0 +1,256 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLRUBasic(t *testing.T) {
+	l := NewLRU[string, int](2)
+	if _, ok := l.Get("a"); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	l.Add("a", 1)
+	l.Add("b", 2)
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	// "b" is now least recently used; adding "c" must evict it.
+	l.Add("c", 3)
+	if _, ok := l.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Fatalf("a lost after eviction: %v, %v", v, ok)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+	hits, misses := l.Stats()
+	if hits != 2 || misses != 2 {
+		t.Fatalf("stats hits=%d misses=%d, want 2/2", hits, misses)
+	}
+}
+
+func TestLRUUpdateAndRemove(t *testing.T) {
+	l := NewLRU[string, int](2)
+	l.Add("a", 1)
+	l.Add("a", 10) // refresh, not a second entry
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate Add", l.Len())
+	}
+	if v, _ := l.Get("a"); v != 10 {
+		t.Fatalf("Get(a) = %d, want 10", v)
+	}
+	if !l.Remove("a") || l.Remove("a") {
+		t.Fatal("Remove semantics wrong")
+	}
+	if _, ok := l.Get("a"); ok {
+		t.Fatal("removed key still present")
+	}
+}
+
+func TestLRUMinimumCapacity(t *testing.T) {
+	l := NewLRU[int, int](0) // clamped to 1
+	l.Add(1, 1)
+	l.Add(2, 2)
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	l := NewLRU[int, int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Add(i%100, g)
+				l.Get((i + g) % 100)
+				if i%50 == 0 {
+					l.Remove(i % 100)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() > 64 {
+		t.Fatalf("capacity exceeded: %d", l.Len())
+	}
+}
+
+func TestGroupCollapsesConcurrentCalls(t *testing.T) {
+	var g Group[string, int]
+	var calls, attached atomic.Int64
+	g.waitHook = func() { attached.Add(1) }
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	const waiters = 16
+	results := make([]int, waiters)
+	shareds := make([]bool, waiters)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the leader starts fn and blocks on the gate
+		defer wg.Done()
+		v, err, shared := g.Do("k", func() (int, error) {
+			calls.Add(1)
+			close(started)
+			<-gate
+			return 42, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		results[0] = v
+		shareds[0] = shared
+	}()
+	<-started
+	for i := 1; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := g.Do("k", func() (int, error) {
+				calls.Add(1)
+				return -1, nil // must never run: the leader's call is in flight
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+			shareds[i] = shared
+		}(i)
+	}
+	// Release the leader only after every follower has attached to its
+	// in-flight call, so collapse is deterministic, not timing-dependent.
+	for attached.Load() < waiters-1 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls.Load())
+	}
+	nonShared := 0
+	for i := range results {
+		if results[i] != 42 {
+			t.Fatalf("caller %d got %d", i, results[i])
+		}
+		if !shareds[i] {
+			nonShared++
+		}
+	}
+	if nonShared != 1 {
+		t.Fatalf("%d callers think they ran fn, want 1", nonShared)
+	}
+}
+
+func TestGroupDistinctKeysRunIndependently(t *testing.T) {
+	var g Group[int, int]
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, _ := g.Do(i, func() (int, error) {
+				calls.Add(1)
+				return i * i, nil
+			})
+			if v != i*i {
+				t.Errorf("key %d: got %d", i, v)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if calls.Load() != 8 {
+		t.Fatalf("fn ran %d times, want 8", calls.Load())
+	}
+}
+
+func TestMemoCachesSuccessNotError(t *testing.T) {
+	m := NewMemo[string, int](4)
+	var calls int
+	boom := errors.New("boom")
+	if _, err, _ := m.Do("k", func() (int, error) { calls++; return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Error was not cached: next call recomputes.
+	v, err, cached := m.Do("k", func() (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 || cached {
+		t.Fatalf("got %v, %v, cached=%v", v, err, cached)
+	}
+	// Success was cached: no recompute.
+	v, err, cached = m.Do("k", func() (int, error) { calls++; return 0, nil })
+	if err != nil || v != 7 || !cached {
+		t.Fatalf("cached read got %v, %v, cached=%v", v, err, cached)
+	}
+	if calls != 2 {
+		t.Fatalf("fn ran %d times, want 2", calls)
+	}
+}
+
+func TestMemoSingleFlight(t *testing.T) {
+	m := NewMemo[string, string](4)
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, _ := m.Do("dep", func() (string, error) {
+				calls.Add(1)
+				close(started)
+				<-gate
+				return "plan", nil
+			})
+			if err != nil || v != "plan" {
+				t.Errorf("got %q, %v", v, err)
+			}
+		}()
+	}
+	<-started
+	close(gate)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls.Load())
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestMemoEviction(t *testing.T) {
+	m := NewMemo[int, int](2)
+	for i := 0; i < 5; i++ {
+		m.Do(i, func() (int, error) { return i, nil })
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	// Evicted keys recompute.
+	var calls int
+	m.Do(0, func() (int, error) { calls++; return 0, nil })
+	if calls != 1 {
+		t.Fatal("evicted key did not recompute")
+	}
+}
+
+func ExampleMemo() {
+	m := NewMemo[string, int](8)
+	expensive := func() (int, error) { return 6 * 7, nil }
+	v, _, cached := m.Do("answer", expensive)
+	fmt.Println(v, cached)
+	v, _, cached = m.Do("answer", expensive)
+	fmt.Println(v, cached)
+	// Output:
+	// 42 false
+	// 42 true
+}

@@ -1,0 +1,101 @@
+// Package cache provides the result-reuse layer of the allocation
+// service: a generic LRU map, a single-flight group that collapses
+// concurrent identical computations, and a Memo combining the two so a
+// burst of identical requests computes once and later repeats are served
+// from memory. The planning workload this exploits — repeated requests
+// over mostly-stable topologies — is the norm for mobile-sink services,
+// where the same deployment is re-planned tour after tour.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a fixed-capacity map with least-recently-used eviction. The
+// zero value is not usable; construct with NewLRU. All methods are safe
+// for concurrent use.
+type LRU[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	items    map[K]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// NewLRU returns an LRU holding at most capacity entries (minimum 1).
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[K]*list.Element, capacity),
+	}
+}
+
+// Get returns the value for k and marks it most recently used.
+func (l *LRU[K, V]) Get(k K) (V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.items[k]; ok {
+		l.order.MoveToFront(el)
+		l.hits++
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	l.misses++
+	var zero V
+	return zero, false
+}
+
+// Add inserts or refreshes k→v, evicting the least recently used entry
+// when over capacity.
+func (l *LRU[K, V]) Add(k K, v V) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.items[k]; ok {
+		el.Value.(*lruEntry[K, V]).val = v
+		l.order.MoveToFront(el)
+		return
+	}
+	l.items[k] = l.order.PushFront(&lruEntry[K, V]{key: k, val: v})
+	if l.order.Len() > l.capacity {
+		oldest := l.order.Back()
+		l.order.Remove(oldest)
+		delete(l.items, oldest.Value.(*lruEntry[K, V]).key)
+	}
+}
+
+// Remove drops k if present, reporting whether it was there.
+func (l *LRU[K, V]) Remove(k K) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.items[k]
+	if !ok {
+		return false
+	}
+	l.order.Remove(el)
+	delete(l.items, k)
+	return true
+}
+
+// Len returns the current entry count.
+func (l *LRU[K, V]) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.order.Len()
+}
+
+// Stats returns cumulative hit and miss counts for Get.
+func (l *LRU[K, V]) Stats() (hits, misses uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.hits, l.misses
+}

@@ -1,0 +1,45 @@
+package cache
+
+// Memo is the cache the allocation service actually uses: an LRU of
+// successful results fronted by a single-flight group, so concurrent
+// identical requests compute once and subsequent repeats are served
+// without recomputation. Errors are never cached — a failed computation
+// is retried by the next caller.
+type Memo[K comparable, V any] struct {
+	lru *LRU[K, V]
+	sf  Group[K, V]
+}
+
+// NewMemo returns a Memo retaining at most entries successful results.
+func NewMemo[K comparable, V any](entries int) *Memo[K, V] {
+	return &Memo[K, V]{lru: NewLRU[K, V](entries)}
+}
+
+// Do returns the cached value for k, or computes it with fn. Concurrent
+// callers with the same key share one fn execution. The cached return
+// reports whether the value came from the LRU or from another in-flight
+// caller rather than this caller's own fn run.
+func (m *Memo[K, V]) Do(k K, fn func() (V, error)) (v V, err error, cached bool) {
+	if v, ok := m.lru.Get(k); ok {
+		return v, nil, true
+	}
+	return m.sf.Do(k, func() (V, error) {
+		// Re-check under single-flight: a caller that missed the LRU just
+		// before a concurrent computation finished would otherwise
+		// recompute a value that is already cached.
+		if v, ok := m.lru.Get(k); ok {
+			return v, nil
+		}
+		v, err := fn()
+		if err == nil {
+			m.lru.Add(k, v)
+		}
+		return v, err
+	})
+}
+
+// Len returns the number of cached results.
+func (m *Memo[K, V]) Len() int { return m.lru.Len() }
+
+// Stats returns cumulative LRU hit and miss counts.
+func (m *Memo[K, V]) Stats() (hits, misses uint64) { return m.lru.Stats() }

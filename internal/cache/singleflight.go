@@ -1,0 +1,55 @@
+package cache
+
+import "sync"
+
+// Group collapses concurrent calls with the same key into one execution:
+// the first caller runs fn, later callers block and receive the same
+// result. Unlike golang.org/x/sync/singleflight (not vendored here —
+// the repo is stdlib-only), results are typed via generics.
+type Group[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*call[V]
+	// waitHook, when set, runs each time a caller attaches to another
+	// caller's in-flight computation (test seam for deterministic
+	// concurrency tests).
+	waitHook func()
+}
+
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do executes fn once per key among concurrent callers. The shared
+// return reports whether this caller received another caller's result
+// rather than running fn itself. Panics in fn propagate to the caller
+// that ran it; waiters for a panicked call receive the zero value and a
+// nil error only if fn also returned them, so fn should not panic in
+// normal operation (the service layer wraps solver panics upstream).
+func (g *Group[K, V]) Do(k K, fn func() (V, error)) (v V, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*call[V])
+	}
+	if c, ok := g.calls[k]; ok {
+		g.mu.Unlock()
+		if g.waitHook != nil {
+			g.waitHook()
+		}
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &call[V]{done: make(chan struct{})}
+	g.calls[k] = c
+	g.mu.Unlock()
+
+	defer func() {
+		g.mu.Lock()
+		delete(g.calls, k)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err, false
+}

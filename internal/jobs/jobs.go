@@ -1,0 +1,422 @@
+// Package jobs provides the asynchronous execution layer of the
+// allocation service: a bounded FIFO queue feeding a fixed worker pool,
+// with job lifecycle tracking (queued → running → done/failed/canceled),
+// per-job deadlines, and explicit backpressure — a full queue rejects
+// submission immediately instead of letting work pile up unbounded.
+//
+// The worker pool reuses the counting-semaphore idiom from
+// internal/parallel (parallel.Sem): a single dispatcher pops jobs in FIFO
+// order and acquires a slot per running job, so at most `workers`
+// computations execute at once while the queue preserves ordering.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mobisink/internal/parallel"
+)
+
+// State is a job lifecycle phase.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether s is an end state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Func is the work a job performs. The context carries the per-job
+// deadline and is canceled when the job is canceled or the queue shuts
+// down; long computations should honor it, but even a Func that ignores
+// the context gets a timely status transition — the worker records the
+// deadline/cancel outcome immediately and merely keeps its pool slot
+// until the Func returns, so concurrency stays bounded.
+type Func func(ctx context.Context) (any, error)
+
+// Status is a point-in-time snapshot of a job.
+type Status struct {
+	ID         string    `json:"id"`
+	State      State     `json:"state"`
+	Result     any       `json:"result,omitempty"` // set when State == done
+	Err        string    `json:"error,omitempty"`  // set when failed/canceled
+	QueuedAt   time.Time `json:"queued_at"`
+	StartedAt  time.Time `json:"started_at,omitzero"`
+	FinishedAt time.Time `json:"finished_at,omitzero"`
+}
+
+var (
+	// ErrQueueFull is returned by Submit when the queue is at depth;
+	// callers surface it as backpressure (the service maps it to 429).
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed is returned by Submit after Close has begun.
+	ErrClosed = errors.New("jobs: queue closed")
+	// ErrUnknownJob is returned for ids that do not exist or whose
+	// records have been retired.
+	ErrUnknownJob = errors.New("jobs: unknown job")
+)
+
+// retainFinished bounds how many terminal job records are kept for
+// status polling before the oldest are forgotten.
+const retainFinished = 1024
+
+type job struct {
+	id      string
+	fn      Func
+	timeout time.Duration
+
+	mu              sync.Mutex
+	state           State
+	result          any
+	err             error
+	queuedAt        time.Time
+	startedAt       time.Time
+	finishedAt      time.Time
+	cancelRun       context.CancelFunc // set while running
+	cancelRequested bool
+	done            chan struct{} // closed on terminal state
+}
+
+// Queue is a bounded FIFO job queue with a fixed worker pool. Construct
+// with New; all methods are safe for concurrent use.
+type Queue struct {
+	sem        parallel.Sem
+	ch         chan *job
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup // dispatcher + running workers
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	doneOrder []string // FIFO of terminal job ids, for retention
+	seq       uint64
+	closed    bool
+}
+
+// New returns a queue running at most workers jobs concurrently
+// (GOMAXPROCS when workers ≤ 0) and holding at most depth waiting jobs
+// (minimum 1) before Submit reports ErrQueueFull.
+func New(workers, depth int) *Queue {
+	if depth < 1 {
+		depth = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		sem:        parallel.NewSem(workers),
+		ch:         make(chan *job, depth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*job),
+	}
+	q.wg.Add(1)
+	go q.dispatch()
+	return q
+}
+
+// Workers returns the worker-pool size.
+func (q *Queue) Workers() int { return q.sem.Cap() }
+
+// Depth returns the queue capacity.
+func (q *Queue) Depth() int { return cap(q.ch) }
+
+// Option configures one submission.
+type Option func(*job)
+
+// WithTimeout bounds the job's running time; on expiry the job is marked
+// failed with a deadline error. d ≤ 0 means no deadline.
+func WithTimeout(d time.Duration) Option {
+	return func(jb *job) { jb.timeout = d }
+}
+
+// Submit enqueues fn and returns the new job's id. It never blocks: a
+// full queue returns ErrQueueFull and a closed queue returns ErrClosed.
+func (q *Queue) Submit(fn Func, opts ...Option) (string, error) {
+	if fn == nil {
+		return "", errors.New("jobs: nil job function")
+	}
+	jb := &job{
+		fn:       fn,
+		state:    StateQueued,
+		queuedAt: time.Now(),
+		done:     make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(jb)
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return "", ErrClosed
+	}
+	q.seq++
+	jb.id = fmt.Sprintf("j%d", q.seq)
+	select {
+	case q.ch <- jb:
+		q.jobs[jb.id] = jb
+		return jb.id, nil
+	default:
+		return "", ErrQueueFull
+	}
+}
+
+// Get returns the job's current status.
+func (q *Queue) Get(id string) (Status, bool) {
+	q.mu.Lock()
+	jb, ok := q.jobs[id]
+	q.mu.Unlock()
+	if !ok {
+		return Status{}, false
+	}
+	return jb.status(), true
+}
+
+// Cancel stops a job: a queued job is marked canceled and will never
+// execute; a running job has its context canceled and is marked canceled
+// once the worker observes it (its Func may still run to completion in
+// the background); a terminal job is left untouched. The returned status
+// is the state after the cancel request.
+func (q *Queue) Cancel(id string) (Status, error) {
+	q.mu.Lock()
+	jb, ok := q.jobs[id]
+	q.mu.Unlock()
+	if !ok {
+		return Status{}, ErrUnknownJob
+	}
+	jb.mu.Lock()
+	switch jb.state {
+	case StateQueued:
+		jb.cancelRequested = true
+		jb.state = StateCanceled
+		jb.err = context.Canceled
+		jb.finishedAt = time.Now()
+		close(jb.done)
+		jb.mu.Unlock()
+		q.retire(jb.id)
+		return jb.status(), nil
+	case StateRunning:
+		jb.cancelRequested = true
+		if jb.cancelRun != nil {
+			jb.cancelRun()
+		}
+	}
+	jb.mu.Unlock()
+	return jb.status(), nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires,
+// returning the status either way.
+func (q *Queue) Wait(ctx context.Context, id string) (Status, error) {
+	q.mu.Lock()
+	jb, ok := q.jobs[id]
+	q.mu.Unlock()
+	if !ok {
+		return Status{}, ErrUnknownJob
+	}
+	select {
+	case <-jb.done:
+		return jb.status(), nil
+	case <-ctx.Done():
+		return jb.status(), ctx.Err()
+	}
+}
+
+// Stats counts jobs by state among the records currently retained.
+type Stats struct {
+	Queued, Running, Done, Failed, Canceled int
+}
+
+// Stats returns a snapshot of per-state job counts.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var st Stats
+	for _, jb := range q.jobs {
+		switch jb.snapshotState() {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		case StateCanceled:
+			st.Canceled++
+		}
+	}
+	return st
+}
+
+// Close drains the queue: no new submissions are accepted, already
+// queued and running jobs are given until ctx expires to finish. On
+// expiry the base context is canceled (failing running jobs' contexts
+// and canceling still-queued jobs) and ctx's error is returned.
+func (q *Queue) Close(ctx context.Context) error {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+	q.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		q.baseCancel()
+		return ctx.Err()
+	}
+}
+
+// dispatch pops jobs in FIFO order, bounding concurrent execution with
+// the worker-pool semaphore. The slot is acquired before the pop so a
+// job leaves the buffer only when a worker is free — the buffer alone
+// defines queue capacity. It exits once the queue is closed and drained.
+func (q *Queue) dispatch() {
+	defer q.wg.Done()
+	for {
+		q.sem.Acquire()
+		jb, ok := <-q.ch
+		if !ok {
+			q.sem.Release()
+			return
+		}
+		q.wg.Add(1)
+		go func(jb *job) {
+			defer q.wg.Done()
+			defer q.sem.Release()
+			q.run(jb)
+		}(jb)
+	}
+}
+
+// run executes one job on a worker slot.
+func (q *Queue) run(jb *job) {
+	jb.mu.Lock()
+	if jb.state != StateQueued { // canceled while waiting
+		jb.mu.Unlock()
+		return
+	}
+	if q.baseCtx.Err() != nil { // queue shut down before this job started
+		jb.state = StateCanceled
+		jb.err = context.Cause(q.baseCtx)
+		jb.finishedAt = time.Now()
+		close(jb.done)
+		jb.mu.Unlock()
+		q.retire(jb.id)
+		return
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if jb.timeout > 0 {
+		ctx, cancel = context.WithTimeout(q.baseCtx, jb.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(q.baseCtx)
+	}
+	jb.state = StateRunning
+	jb.startedAt = time.Now()
+	jb.cancelRun = cancel
+	jb.mu.Unlock()
+	defer cancel()
+
+	type outcome struct {
+		v   any
+		err error
+	}
+	res := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				res <- outcome{err: fmt.Errorf("jobs: job panicked: %v", r)}
+			}
+		}()
+		v, err := jb.fn(ctx)
+		res <- outcome{v: v, err: err}
+	}()
+	select {
+	case out := <-res:
+		q.finish(jb, out.v, out.err)
+	case <-ctx.Done():
+		// Record the outcome now so status polling is timely, then hold
+		// the worker slot until fn actually returns so true concurrency
+		// never exceeds the pool size.
+		q.finish(jb, nil, ctx.Err())
+		<-res
+	}
+}
+
+// finish moves jb to its terminal state (no-op if already terminal) and
+// retires the record into the bounded done list.
+func (q *Queue) finish(jb *job, v any, err error) {
+	jb.mu.Lock()
+	if jb.state.Terminal() {
+		jb.mu.Unlock()
+		return
+	}
+	jb.finishedAt = time.Now()
+	switch {
+	case err == nil:
+		jb.state = StateDone
+		jb.result = v
+	case jb.cancelRequested || errors.Is(err, context.Canceled):
+		jb.state = StateCanceled
+		jb.err = err
+	default:
+		jb.state = StateFailed
+		jb.err = err
+	}
+	close(jb.done)
+	jb.mu.Unlock()
+	q.retire(jb.id)
+}
+
+// retire appends id to the terminal-record list, forgetting the oldest
+// terminal jobs beyond the retention bound.
+func (q *Queue) retire(id string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.doneOrder = append(q.doneOrder, id)
+	for len(q.doneOrder) > retainFinished {
+		delete(q.jobs, q.doneOrder[0])
+		q.doneOrder = q.doneOrder[1:]
+	}
+}
+
+func (jb *job) status() Status {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	st := Status{
+		ID:         jb.id,
+		State:      jb.state,
+		QueuedAt:   jb.queuedAt,
+		StartedAt:  jb.startedAt,
+		FinishedAt: jb.finishedAt,
+	}
+	if jb.state == StateDone {
+		st.Result = jb.result
+	}
+	if jb.err != nil {
+		st.Err = jb.err.Error()
+	}
+	return st
+}
+
+func (jb *job) snapshotState() State {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	return jb.state
+}

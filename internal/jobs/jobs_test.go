@@ -1,0 +1,409 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func waitCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestSubmitRunsAndReturnsResult(t *testing.T) {
+	q := New(2, 8)
+	defer q.Close(waitCtx(t))
+	id, err := q.Submit(func(ctx context.Context) (any, error) { return 41 + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := q.Wait(waitCtx(t), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Result != 42 {
+		t.Fatalf("status %+v", st)
+	}
+	if st.QueuedAt.IsZero() || st.StartedAt.IsZero() || st.FinishedAt.IsZero() {
+		t.Fatalf("timestamps missing: %+v", st)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	q := New(1, 1)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	block := func(ctx context.Context) (any, error) {
+		close(started)
+		<-gate
+		return nil, nil
+	}
+	idle := func(ctx context.Context) (any, error) { return nil, nil }
+	// First job occupies the single worker...
+	if _, err := q.Submit(block); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// ...second fills the single queue slot...
+	if _, err := q.Submit(idle); err != nil {
+		t.Fatal(err)
+	}
+	// ...third must be rejected, not blocked.
+	if _, err := q.Submit(idle); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	close(gate)
+	if err := q.Close(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelQueuedPreventsExecution(t *testing.T) {
+	q := New(1, 4)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := q.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-gate
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var ran atomic.Bool
+	id, err := q.Submit(func(ctx context.Context) (any, error) {
+		ran.Store(true)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := q.Cancel(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Fatalf("state after cancel = %s", st.State)
+	}
+	close(gate)
+	if err := q.Close(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() {
+		t.Fatal("canceled queued job still executed")
+	}
+	if st, ok := q.Get(id); !ok || st.State != StateCanceled {
+		t.Fatalf("final status %+v ok=%v", st, ok)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	q := New(1, 1)
+	defer q.Close(waitCtx(t))
+	started := make(chan struct{})
+	id, err := q.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done() // honor cancellation
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := q.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	st, err := q.Wait(waitCtx(t), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", st.State)
+	}
+}
+
+func TestCancelUnknownAndTerminal(t *testing.T) {
+	q := New(1, 1)
+	defer q.Close(waitCtx(t))
+	if _, err := q.Cancel("nope"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("err = %v, want ErrUnknownJob", err)
+	}
+	id, _ := q.Submit(func(ctx context.Context) (any, error) { return "x", nil })
+	if _, err := q.Wait(waitCtx(t), id); err != nil {
+		t.Fatal(err)
+	}
+	st, err := q.Cancel(id) // canceling a finished job is a no-op
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Result != "x" {
+		t.Fatalf("terminal cancel changed status: %+v", st)
+	}
+}
+
+func TestPerJobDeadline(t *testing.T) {
+	q := New(1, 1)
+	defer q.Close(waitCtx(t))
+	id, err := q.Submit(func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, WithTimeout(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := q.Wait(waitCtx(t), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed || !strings.Contains(st.Err, "deadline") {
+		t.Fatalf("status %+v, want failed with deadline error", st)
+	}
+}
+
+func TestJobErrorAndPanic(t *testing.T) {
+	q := New(2, 4)
+	defer q.Close(waitCtx(t))
+	boom := errors.New("boom")
+	idErr, _ := q.Submit(func(ctx context.Context) (any, error) { return nil, boom })
+	idPanic, _ := q.Submit(func(ctx context.Context) (any, error) { panic("kaboom") })
+	st, err := q.Wait(waitCtx(t), idErr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed || st.Err != "boom" {
+		t.Fatalf("error job status %+v", st)
+	}
+	st, err = q.Wait(waitCtx(t), idPanic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed || !strings.Contains(st.Err, "kaboom") {
+		t.Fatalf("panic job status %+v", st)
+	}
+}
+
+func TestFIFOOrderSingleWorker(t *testing.T) {
+	q := New(1, 16)
+	defer q.Close(waitCtx(t))
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	q.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-gate
+		return nil, nil
+	})
+	<-started
+	var order []int
+	ch := make(chan int, 8)
+	ids := make([]string, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		id, err := q.Submit(func(ctx context.Context) (any, error) {
+			ch <- i
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	close(gate)
+	for i := 0; i < 8; i++ {
+		st, err := q.Wait(waitCtx(t), ids[i])
+		if err != nil || st.State != StateDone {
+			t.Fatalf("job %d: %+v, %v", i, st, err)
+		}
+	}
+	close(ch)
+	for v := range ch {
+		order = append(order, v)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("execution order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestConcurrencyBounded(t *testing.T) {
+	const workers = 3
+	q := New(workers, 64)
+	defer q.Close(waitCtx(t))
+	var running, peak atomic.Int64
+	ids := make([]string, 20)
+	for i := range ids {
+		id, err := q.Submit(func(ctx context.Context) (any, error) {
+			n := running.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			running.Add(-1)
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for _, id := range ids {
+		if _, err := q.Wait(waitCtx(t), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, pool size %d", p, workers)
+	}
+}
+
+func TestCloseDrainsQueuedJobs(t *testing.T) {
+	q := New(2, 16)
+	var ran atomic.Int64
+	ids := make([]string, 10)
+	for i := range ids {
+		id, err := q.Submit(func(ctx context.Context) (any, error) {
+			ran.Add(1)
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	if err := q.Close(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 10 {
+		t.Fatalf("%d jobs ran before drain completed, want 10", ran.Load())
+	}
+	if _, err := q.Submit(func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseDeadlineCancelsStragglers(t *testing.T) {
+	q := New(1, 4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	idRun, _ := q.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return nil, nil
+		}
+	})
+	<-started
+	idQueued, _ := q.Submit(func(ctx context.Context) (any, error) { return nil, nil })
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := q.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Close = %v, want deadline exceeded", err)
+	}
+	st, err := q.Wait(waitCtx(t), idRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled && st.State != StateFailed {
+		t.Fatalf("running straggler state %s", st.State)
+	}
+	st, err = q.Wait(waitCtx(t), idQueued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Fatalf("queued straggler state %s, want canceled", st.State)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	q := New(1, 1)
+	defer q.Close(waitCtx(t))
+	if _, ok := q.Get("j999"); ok {
+		t.Fatal("unknown id reported present")
+	}
+}
+
+func TestStats(t *testing.T) {
+	q := New(1, 8)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	q.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-gate
+		return nil, nil
+	})
+	<-started
+	q.Submit(func(ctx context.Context) (any, error) { return nil, nil })
+	st := q.Stats()
+	if st.Running != 1 || st.Queued != 1 {
+		t.Fatalf("stats %+v, want 1 running / 1 queued", st)
+	}
+	close(gate)
+	if err := q.Close(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	st = q.Stats()
+	if st.Done != 2 || st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("post-drain stats %+v", st)
+	}
+}
+
+func TestRetention(t *testing.T) {
+	q := New(4, 8)
+	var lastID string
+	for i := 0; i < retainFinished+50; i++ {
+		for {
+			id, err := q.Submit(func(ctx context.Context) (any, error) { return nil, nil })
+			if errors.Is(err, ErrQueueFull) {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			lastID = id
+			break
+		}
+	}
+	if err := q.Close(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	q.mu.Lock()
+	n := len(q.jobs)
+	q.mu.Unlock()
+	if n > retainFinished {
+		t.Fatalf("%d records retained, bound is %d", n, retainFinished)
+	}
+	if _, ok := q.Get(lastID); !ok {
+		t.Fatal("most recent job was forgotten")
+	}
+}
+
+func TestWaitContextExpiry(t *testing.T) {
+	q := New(1, 2)
+	gate := make(chan struct{})
+	defer q.Close(context.Background()) // LIFO: gate closes first, then drain
+	defer close(gate)
+	id, _ := q.Submit(func(ctx context.Context) (any, error) { <-gate; return nil, nil })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	st, err := q.Wait(ctx, id)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if st.State.Terminal() {
+		t.Fatalf("job should still be in flight, got %s", st.State)
+	}
+}

@@ -11,6 +11,39 @@ import (
 	"sync"
 )
 
+// Sem is a counting semaphore bounding concurrent work. It is the
+// channel-of-tokens idiom ForEach has always used, exported so other
+// bounded pools (notably internal/jobs' worker pool) share one
+// implementation instead of re-deriving it.
+type Sem chan struct{}
+
+// NewSem returns a semaphore with n slots (GOMAXPROCS when n ≤ 0).
+func NewSem(n int) Sem {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return make(Sem, n)
+}
+
+// Acquire blocks until a slot is free.
+func (s Sem) Acquire() { s <- struct{}{} }
+
+// TryAcquire takes a slot without blocking, reporting whether it got one.
+func (s Sem) TryAcquire() bool {
+	select {
+	case s <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release frees a slot taken by Acquire or TryAcquire.
+func (s Sem) Release() { <-s }
+
+// Cap returns the slot count.
+func (s Sem) Cap() int { return cap(s) }
+
 // ForEach runs fn(i) for every i in [0, n) using at most `workers`
 // concurrent goroutines (GOMAXPROCS when workers ≤ 0). All tasks run even
 // if some fail; the returned error joins every task error in index order.
@@ -34,13 +67,13 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
+	sem := NewSem(workers)
 	for i := 0; i < n; i++ {
 		wg.Add(1)
-		sem <- struct{}{}
+		sem.Acquire()
 		go func(i int) {
 			defer wg.Done()
-			defer func() { <-sem }()
+			defer sem.Release()
 			defer func() {
 				if r := recover(); r != nil {
 					errs[i] = fmt.Errorf("parallel: task %d panicked: %v", i, r)

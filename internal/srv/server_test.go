@@ -1,0 +1,508 @@
+package srv
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mobisink/internal/jobs"
+	"mobisink/internal/network"
+)
+
+// newTestServer wires a Server with small knobs and an optional stand-in
+// solver into an httptest server.
+func newTestServer(t *testing.T, cfg Config, run func(*Request) (*Response, error)) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	if run != nil {
+		s.run = run
+	}
+	ts := httptest.NewServer(s.Mux())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func doJSON(t *testing.T, method, url string, body any) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// blockingRun returns a stand-in solver that blocks on gate and counts
+// invocations; Slots echoes the request speed so results are
+// distinguishable without running a real solver.
+func blockingRun(calls *atomic.Int64, gate chan struct{}) func(*Request) (*Response, error) {
+	return func(req *Request) (*Response, error) {
+		calls.Add(1)
+		if gate != nil {
+			<-gate
+		}
+		return &Response{Algorithm: req.Algorithm, Slots: int(req.Speed), DataMb: 1}, nil
+	}
+}
+
+// stubDep is a minimal valid deployment for tests that stub the solver
+// (Deployment's UnmarshalJSON validates, so requests can't carry a zero
+// value).
+var stubDep = func() network.Deployment {
+	dep, err := network.Generate(network.Params{N: 2, PathLength: 100, MaxOffset: 10, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	return *dep
+}()
+
+func speedReq(speed float64) Request {
+	// Distinct speeds make distinct cache keys and distinguishable
+	// stand-in responses.
+	return Request{Deployment: stubDep, Speed: speed, SlotLen: 1, Algorithm: "offline_greedy"}
+}
+
+// Acceptance (a): a full queue rejects job submission with 429.
+func TestJobsQueueFull429(t *testing.T) {
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1},
+		func(req *Request) (*Response, error) {
+			once.Do(func() { close(started) })
+			return blockingRun(&calls, gate)(req)
+		})
+	// First job occupies the single worker.
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{Request: speedReq(1)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 1 status %d", resp.StatusCode)
+	}
+	<-started
+	// Second fills the single queue slot.
+	resp = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{Request: speedReq(2)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 2 status %d", resp.StatusCode)
+	}
+	// Third must be rejected with backpressure.
+	resp = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{Request: speedReq(3)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job 3 status %d, want 429", resp.StatusCode)
+	}
+	close(gate)
+}
+
+// Acceptance (b): concurrent identical synchronous requests run the
+// solver once (single-flight), and a repeat is served from the cache.
+func TestAllocateSingleFlightAndCache(t *testing.T) {
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	_, ts := newTestServer(t, Config{},
+		func(req *Request) (*Response, error) {
+			once.Do(func() { close(started) })
+			return blockingRun(&calls, gate)(req)
+		})
+	req := speedReq(7)
+	var wg sync.WaitGroup
+	statuses := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := doJSON(t, http.MethodPost, ts.URL+"/v1/allocate", req)
+			statuses[i] = resp.StatusCode
+		}(i)
+	}
+	<-started
+	close(gate)
+	wg.Wait()
+	for i, code := range statuses {
+		if code != http.StatusOK {
+			t.Fatalf("request %d status %d", i, code)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("solver ran %d times for identical concurrent requests, want 1", n)
+	}
+	// A later repeat is an LRU hit — still one solver run.
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/allocate", req)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("X-Cache = %q, want hit", got)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("solver ran %d times after cached repeat, want 1", n)
+	}
+}
+
+// Acceptance (c): canceling a queued job prevents it from executing.
+func TestJobCancelQueuedPreventsExecution(t *testing.T) {
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4},
+		func(req *Request) (*Response, error) {
+			once.Do(func() { close(started) })
+			return blockingRun(&calls, gate)(req)
+		})
+	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{Request: speedReq(1)})
+	<-started
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{Request: speedReq(2)})
+	acc := decodeBody[JobAccepted](t, resp)
+
+	resp = doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+acc.ID, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", resp.StatusCode)
+	}
+	st := decodeBody[jobs.Status](t, resp)
+	if st.State != jobs.StateCanceled {
+		t.Fatalf("state after cancel = %s", st.State)
+	}
+	close(gate)
+	// Wait for the first job to finish, then confirm the canceled one
+	// never reached the solver.
+	deadline := time.Now().Add(5 * time.Second)
+	for calls.Load() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond) // give a wrongly-dispatched job time to show up
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("solver ran %d times, want 1 (canceled job must not run)", n)
+	}
+	resp = doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+acc.ID, nil)
+	st = decodeBody[jobs.Status](t, resp)
+	if st.State != jobs.StateCanceled {
+		t.Fatalf("final state %s, want canceled", st.State)
+	}
+}
+
+// Acceptance (d): a batch of N requests returns N results in input order.
+func TestBatchOrdering(t *testing.T) {
+	var calls atomic.Int64
+	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 32}, blockingRun(&calls, nil))
+	speeds := []float64{9, 3, 7, 1, 5, 8, 2, 6}
+	var br BatchRequest
+	for _, v := range speeds {
+		br.Requests = append(br.Requests, speedReq(v))
+	}
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/batch", br)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	out := decodeBody[BatchResponse](t, resp)
+	if len(out.Results) != len(speeds) {
+		t.Fatalf("%d results, want %d", len(out.Results), len(speeds))
+	}
+	for i, item := range out.Results {
+		if !item.OK || item.Result == nil {
+			t.Fatalf("item %d not ok: %+v", i, item)
+		}
+		if item.Result.Slots != int(speeds[i]) {
+			t.Fatalf("item %d = request for speed %d, want %v (out of order)",
+				i, item.Result.Slots, speeds[i])
+		}
+	}
+}
+
+// A batch larger than the queue can hold is rejected whole with 429.
+func TestBatchQueueFull429(t *testing.T) {
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	defer close(gate)
+	started := make(chan struct{})
+	var once sync.Once
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2},
+		func(req *Request) (*Response, error) {
+			once.Do(func() { close(started) })
+			return blockingRun(&calls, gate)(req)
+		})
+	doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{Request: speedReq(1)})
+	<-started // worker busy; 2 queue slots left, batch needs 3
+	var br BatchRequest
+	for _, v := range []float64{2, 3, 4} {
+		br.Requests = append(br.Requests, speedReq(v))
+	}
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/batch", br)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+}
+
+func TestBatchRealSolver(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	dep := testDeployment(t, 15)
+	br := BatchRequest{Requests: []Request{
+		{Deployment: dep, Speed: 5, SlotLen: 1, Algorithm: "offline_greedy"},
+		{Deployment: dep, Speed: 5, SlotLen: 1, Algorithm: "nope"},
+		{Deployment: dep, Speed: 10, SlotLen: 1, Algorithm: "offline_greedy"},
+	}}
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/batch", br)
+	out := decodeBody[BatchResponse](t, resp)
+	if len(out.Results) != 3 {
+		t.Fatalf("%d results", len(out.Results))
+	}
+	if !out.Results[0].OK || out.Results[0].Result.DataMb <= 0 {
+		t.Fatalf("result 0: %+v", out.Results[0])
+	}
+	if out.Results[1].OK || !strings.Contains(out.Results[1].Error, "unknown algorithm") {
+		t.Fatalf("result 1 should fail with unknown algorithm: %+v", out.Results[1])
+	}
+	if !out.Results[2].OK {
+		t.Fatalf("result 2: %+v", out.Results[2])
+	}
+	// Twice the speed halves the tour slots.
+	if out.Results[2].Result.Slots >= out.Results[0].Result.Slots {
+		t.Fatalf("speed 10 slots %d not below speed 5 slots %d",
+			out.Results[2].Result.Slots, out.Results[0].Result.Slots)
+	}
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/v1/batch", BatchRequest{}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestJobLifecycleOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	dep := testDeployment(t, 15)
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{
+		Request: Request{Deployment: dep, Speed: 5, SlotLen: 1, Algorithm: "offline_greedy"},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	acc := decodeBody[JobAccepted](t, resp)
+	if acc.ID == "" {
+		t.Fatal("no job id")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	var st jobs.Status
+	for {
+		resp = doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+acc.ID, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d", resp.StatusCode)
+		}
+		st = decodeBody[jobs.Status](t, resp)
+		if st.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.State != jobs.StateDone {
+		t.Fatalf("state %s err %q", st.State, st.Err)
+	}
+	// Result rides along as JSON; re-decode it as a Response.
+	b, err := json.Marshal(st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Response
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.DataMb <= 0 || len(res.SlotOwner) != res.Slots {
+		t.Fatalf("bad job result %+v", res)
+	}
+}
+
+func TestJobFailureSurfacesError(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{
+		Request: Request{Deployment: stubDep, Speed: 5, SlotLen: 1, Algorithm: "nope"},
+	})
+	acc := decodeBody[JobAccepted](t, resp)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp = doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+acc.ID, nil)
+		st := decodeBody[jobs.Status](t, resp)
+		if st.State.Terminal() {
+			if st.State != jobs.StateFailed || !strings.Contains(st.Err, "unknown algorithm") {
+				t.Fatalf("status %+v", st)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestJobsUnknownID(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/j999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown: %d, want 404", resp.StatusCode)
+	}
+	if resp := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/j999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE unknown: %d, want 404", resp.StatusCode)
+	}
+}
+
+// Satellite: oversized request bodies are rejected with 413 before any
+// decoding work.
+func TestBodyTooLarge413(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 1024}, nil)
+	big := fmt.Sprintf(`{"speed": 5, "slot_len": 1, "data_caps": [%s1]}`,
+		strings.Repeat("1,", 2000))
+	for _, path := range []string{"/v1/allocate", "/v1/jobs", "/v1/batch"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(big))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: status %d, want 413", path, resp.StatusCode)
+		}
+	}
+}
+
+// Satellite: healthz serves GET and HEAD only; other methods are 405.
+func TestHealthzMethodRestriction(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	for _, m := range []string{http.MethodGet, http.MethodHead} {
+		resp := doJSON(t, m, ts.URL+"/v1/healthz", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", m, resp.StatusCode)
+		}
+	}
+	for _, m := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+		resp := doJSON(t, m, ts.URL+"/v1/healthz", nil)
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s: status %d, want 405", m, resp.StatusCode)
+		}
+	}
+}
+
+func TestVersionEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3, QueueDepth: 9, CacheEntries: 27}, nil)
+	resp := doJSON(t, http.MethodGet, ts.URL+"/v1/version", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	vi := decodeBody[VersionInfo](t, resp)
+	if vi.Service != "allocserver" || vi.GoVersion == "" {
+		t.Fatalf("version info %+v", vi)
+	}
+	if vi.Workers != 3 || vi.QueueDepth != 9 || vi.CacheEntries != 27 {
+		t.Fatalf("sizing not reported: %+v", vi)
+	}
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/v1/version", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d, want 405", resp.StatusCode)
+	}
+}
+
+// Satellite: method and payload error paths on the async endpoints.
+func TestJobsErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	// Method not allowed: GET on the collection, POST on an id.
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/jobs: %d, want 405", resp.StatusCode)
+	}
+	if resp := doJSON(t, http.MethodPut, ts.URL+"/v1/batch", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("PUT /v1/batch: %d, want 405", resp.StatusCode)
+	}
+	// Unknown fields and broken JSON are 400s.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"surprise": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad json: %d, want 400", resp.StatusCode)
+	}
+}
+
+// The cache serves repeats of real allocations byte-identically.
+func TestAllocateCacheRealSolver(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	dep := testDeployment(t, 20)
+	req := Request{Deployment: dep, Speed: 5, SlotLen: 1, Algorithm: "offline_greedy"}
+	first := doJSON(t, http.MethodPost, ts.URL+"/v1/allocate", req)
+	if first.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first X-Cache = %q", first.Header.Get("X-Cache"))
+	}
+	b1, _ := io.ReadAll(first.Body)
+	second := doJSON(t, http.MethodPost, ts.URL+"/v1/allocate", req)
+	if second.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("second X-Cache = %q", second.Header.Get("X-Cache"))
+	}
+	b2, _ := io.ReadAll(second.Body)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("cached response differs from computed response")
+	}
+	// The implicit default algorithm shares the cache entry with the
+	// explicit one.
+	req.Algorithm = ""
+	req2 := req
+	req2.Algorithm = "offline_appro"
+	doJSON(t, http.MethodPost, ts.URL+"/v1/allocate", req)
+	third := doJSON(t, http.MethodPost, ts.URL+"/v1/allocate", req2)
+	if third.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("default-vs-explicit algorithm missed cache: %q", third.Header.Get("X-Cache"))
+	}
+}
+
+// Server.Close drains in-flight jobs and rejects later submissions.
+func TestServerCloseDrains(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8}, nil)
+	dep := testDeployment(t, 15)
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{
+		Request: Request{Deployment: dep, Speed: 5, SlotLen: 1, Algorithm: "offline_greedy"},
+	})
+	acc := decodeBody[JobAccepted](t, resp)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp = doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+acc.ID, nil)
+	st := decodeBody[jobs.Status](t, resp)
+	if st.State != jobs.StateDone {
+		t.Fatalf("after drain: %+v", st)
+	}
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{Request: speedReq(1)}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after close: %d, want 503", resp.StatusCode)
+	}
+}

@@ -2,11 +2,15 @@
 // cmd/allocserver: it parses a deployment + sink parameters, builds the
 // slot-allocation instance, runs the requested algorithm, and returns the
 // schedule with summary statistics.
+//
+// The service has a synchronous path (POST /v1/allocate, served through
+// an LRU result cache with single-flight deduplication) and an
+// asynchronous path (POST /v1/jobs + GET/DELETE /v1/jobs/{id},
+// POST /v1/batch) backed by a bounded job queue and fixed worker pool;
+// see server.go.
 package srv
 
 import (
-	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -59,43 +63,6 @@ func (e *httpError) Error() string { return e.msg }
 
 func badRequest(format string, args ...interface{}) error {
 	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
-}
-
-// NewMux returns the service's routing table.
-func NewMux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/v1/allocate", handleAllocate)
-	return mux
-}
-
-func handleAllocate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return
-	}
-	var req Request
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	resp, err := Allocate(&req)
-	if err != nil {
-		var he *httpError
-		if errors.As(err, &he) {
-			http.Error(w, he.msg, he.code)
-			return
-		}
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(resp)
 }
 
 // Allocate runs one allocation request (exported for tests and embedding).
