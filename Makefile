@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench cover experiments examples clean
+.PHONY: all build test test-metrics test-race vet bench cover experiments examples clean
 
 all: build vet test
 
@@ -12,8 +12,15 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: test-metrics
 	$(GO) test ./...
+
+# Observability gate: the metrics registry and the instrumented HTTP
+# server under the race detector (concurrent increments vs. scrapes),
+# preceded by vet. Part of the default `test` target.
+test-metrics:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/metrics ./internal/srv
 
 # Tier-1 gate for the concurrent packages (internal/jobs, internal/cache,
 # internal/parallel, internal/srv): the full suite under the race

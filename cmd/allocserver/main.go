@@ -24,6 +24,12 @@
 //
 //	GET /v1/healthz  → ok
 //	GET /v1/version  → build info + pool/queue/cache sizing
+//	GET /metrics     → Prometheus text exposition (queue, cache, HTTP,
+//	                   solver histograms)
+//
+// With -debug-addr a second listener additionally serves net/http/pprof
+// under /debug/pprof/ (plus /metrics again), so profiling stays off the
+// public port unless explicitly enabled.
 //
 // The server holds no topology state; every request carries its full
 // deployment. On SIGINT/SIGTERM it stops accepting work and drains
@@ -38,10 +44,12 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"mobisink/internal/metrics"
 	"mobisink/internal/srv"
 )
 
@@ -53,14 +61,18 @@ func main() {
 	maxBody := flag.Int64("max-body-bytes", 8<<20, "request body cap in bytes (413 beyond)")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
+	debugAddr := flag.String("debug-addr", "", "optional second listener for /debug/pprof/ and /metrics (empty = disabled)")
 	flag.Parse()
 
+	// Instrument into the process-wide registry so the exp/sim
+	// histograms of any embedded experiment code surface too.
 	server := srv.New(srv.Config{
 		Workers:      *workers,
 		QueueDepth:   *queueDepth,
 		CacheEntries: *cacheEntries,
 		MaxBodyBytes: *maxBody,
 		JobTimeout:   *jobTimeout,
+		Metrics:      metrics.Default(),
 	})
 	s := &http.Server{
 		Addr:              *addr,
@@ -77,6 +89,25 @@ func main() {
 	go func() { errCh <- s.ListenAndServe() }()
 	log.Printf("allocserver listening on %s", *addr)
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dm := http.NewServeMux()
+		dm.HandleFunc("/debug/pprof/", pprof.Index)
+		dm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dm.Handle("GET /metrics", server.Metrics().Handler())
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: dm,
+			ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		log.Printf("debug endpoints (pprof, metrics) on %s", *debugAddr)
+	}
+
 	select {
 	case err := <-errCh:
 		log.Fatal(err)
@@ -88,6 +119,11 @@ func main() {
 	defer cancel()
 	if err := s.Shutdown(drainCtx); err != nil {
 		log.Printf("http shutdown: %v", err)
+	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(drainCtx); err != nil {
+			log.Printf("debug shutdown: %v", err)
+		}
 	}
 	if err := server.Close(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("queue drain: %v", err)

@@ -23,6 +23,7 @@ import (
 
 	"mobisink/internal/energy"
 	"mobisink/internal/exp"
+	"mobisink/internal/metrics"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 		jitter    = flag.Float64("jitter", 0.5, "per-sensor budget jitter in [0,1)")
 		panel     = flag.Float64("panel", 0, "solar panel area in mm² (default: paper 10×10)")
 		workers   = flag.Int("workers", 0, "parallel trial workers (default GOMAXPROCS)")
+		stats     = flag.Bool("stats", false, "after the run, dump the metrics snapshot (solver runtimes, per-tour data, event counts)")
 	)
 	flag.Parse()
 
@@ -115,6 +117,24 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", path)
 		}
+	}
+	if *stats {
+		dumpStats(os.Stdout)
+	}
+}
+
+// dumpStats prints the process metrics snapshot (histograms flattened
+// to their exposition keys), sorted for stable diffing.
+func dumpStats(w io.Writer) {
+	snap := metrics.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintln(w, "--- metrics snapshot ---")
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %g\n", k, snap[k])
 	}
 }
 

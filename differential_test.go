@@ -1,0 +1,127 @@
+package mobisink_test
+
+// Differential suite for the paper's Theorem 2: on small random
+// instances where exact branch-and-bound completes, Offline_Appro with
+// a (1−ε)-approximate FPTAS knapsack (β = 1+ε) must collect at least
+// 1/(2+ε) of the true optimum. Both allocations are additionally
+// re-validated against the problem constraints: at most one sensor per
+// slot (structural in SlotOwner, re-checked by Validate's window/rate
+// pass) and per-sensor energy budgets.
+
+import (
+	"fmt"
+	"testing"
+
+	"mobisink/internal/core"
+	"mobisink/internal/exact"
+	"mobisink/internal/network"
+	"mobisink/internal/radio"
+)
+
+// diffCase is one seeded instance family of the differential sweep.
+type diffCase struct {
+	n          int
+	pathLen    float64
+	maxOffset  float64
+	speed      float64
+	tau        float64
+	budget     float64 // Joules per tour
+	fixedPower float64 // 0 = multi-rate table
+	eps        float64 // FPTAS accuracy → ratio bound 1/(2+eps)
+}
+
+func buildDiffInstance(t *testing.T, c diffCase, seed int64) *core.Instance {
+	t.Helper()
+	dep, err := network.Generate(network.Params{
+		N: c.n, PathLength: c.pathLen, MaxOffset: c.maxOffset, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.SetUniformBudgets(c.budget); err != nil {
+		t.Fatal(err)
+	}
+	var model radio.Model = radio.Paper2013()
+	if c.fixedPower > 0 {
+		model, err = radio.NewFixedPower(radio.Paper2013(), c.fixedPower)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	inst, err := core.BuildInstance(dep, model, c.speed, c.tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestDifferentialApproVsExact sweeps ≥ 50 seeded instances across
+// network sizes, kinematics, budgets, and both radio models.
+func TestDifferentialApproVsExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is not -short")
+	}
+	// The branch-and-bound is exponential in the slot count, so every
+	// case keeps T = pathLen/(speed·tau) at ~10–16 slots (the sizes
+	// internal/exact's own tests certify as solvable to optimality).
+	cases := []diffCase{
+		{n: 3, pathLen: 300, maxOffset: 60, speed: 30, tau: 1, budget: 0.4, eps: 0.25},
+		{n: 4, pathLen: 300, maxOffset: 80, speed: 30, tau: 1, budget: 0.6, eps: 0.25},
+		{n: 5, pathLen: 300, maxOffset: 100, speed: 20, tau: 1, budget: 0.8, eps: 0.1},
+		{n: 6, pathLen: 400, maxOffset: 120, speed: 30, tau: 1, budget: 1.0, eps: 0.5},
+		// Fixed-power instances flood the branch-and-bound with equal-profit
+		// ties, so they stay extra small to finish within the node budget.
+		{n: 4, pathLen: 200, maxOffset: 60, speed: 20, tau: 1, budget: 0.65, fixedPower: 0.3, eps: 0.25},
+		{n: 5, pathLen: 300, maxOffset: 100, speed: 20, tau: 1, budget: 0.65, fixedPower: 0.3, eps: 0.1},
+		// Tight budgets: only a handful of slots affordable.
+		{n: 5, pathLen: 240, maxOffset: 60, speed: 15, tau: 1, budget: 0.2, eps: 0.25},
+		// Generous budgets: window size is the binding constraint.
+		{n: 3, pathLen: 300, maxOffset: 60, speed: 30, tau: 1, budget: 50, eps: 0.25},
+	}
+	const seedsPerCase = 7 // 8 × 7 = 56 instances ≥ 50
+	instances := 0
+	for ci, c := range cases {
+		for s := 0; s < seedsPerCase; s++ {
+			seed := int64(ci*1000 + s + 1)
+			name := fmt.Sprintf("case%d/n%d/seed%d", ci, c.n, seed)
+			t.Run(name, func(t *testing.T) {
+				inst := buildDiffInstance(t, c, seed)
+
+				appro, err := core.OfflineAppro(inst, core.Options{Eps: c.eps, ForceFPTAS: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Per-slot exclusivity and per-sensor energy budgets.
+				approData, err := inst.Validate(appro)
+				if err != nil {
+					t.Fatalf("Offline_Appro infeasible: %v", err)
+				}
+
+				res, err := exact.Solve(inst, exact.Options{MaxNodes: 30_000_000, Incumbent: appro})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Optimal {
+					t.Fatalf("exact solver hit the node budget (%d nodes); shrink the case", res.Nodes)
+				}
+				optData, err := inst.Validate(res.Alloc)
+				if err != nil {
+					t.Fatalf("exact allocation infeasible: %v", err)
+				}
+
+				if approData > optData+1e-6 {
+					t.Fatalf("approximation %v exceeds claimed optimum %v", approData, optData)
+				}
+				bound := optData / (2 + c.eps)
+				if approData+1e-6 < bound {
+					t.Errorf("Offline_Appro collected %.1f bits < 1/(2+%.2f) of optimum %.1f (bound %.1f)",
+						approData, c.eps, optData, bound)
+				}
+			})
+			instances++
+		}
+	}
+	if instances < 50 {
+		t.Fatalf("only %d instances exercised, want ≥ 50", instances)
+	}
+}

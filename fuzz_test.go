@@ -8,9 +8,12 @@ import (
 	"strings"
 	"testing"
 
+	"mobisink/internal/core"
 	"mobisink/internal/energy"
 	"mobisink/internal/geom"
 	"mobisink/internal/knapsack"
+	"mobisink/internal/network"
+	"mobisink/internal/radio"
 )
 
 // FuzzReadTraceCSV: the trace parser must never panic and any accepted
@@ -93,6 +96,85 @@ func FuzzKnapsackSolvers(f *testing.F) {
 		if fptas.Profit < 0.8*exactBB.Profit-1e-9 {
 			t.Fatalf("fptas %v below (1-eps)·%v", fptas.Profit, exactBB.Profit)
 		}
+	})
+}
+
+// FuzzBuildAndAllocate: instance construction and every offline
+// allocator must never panic, and any allocation they return must pass
+// Validate (per-slot exclusivity, per-sensor energy budgets) and stay
+// under the instance upper bound — on arbitrary deployments, including
+// degenerate ones.
+func FuzzBuildAndAllocate(f *testing.F) {
+	// Seeds cover the corners that historically break schedulers:
+	// a near-zero-length tour (the whole path collapses into one slot),
+	// single-slot visibility windows (the sink sprints past every
+	// sensor), zero-energy sensors (budget 0 ⇒ nothing schedulable),
+	// a fixed-power radio, and a lone sensor sitting on the path.
+	f.Add(uint8(3), 1e-3, 10.0, 50.0, 1.0, 0.5, 0.0, int64(1))   // zero-length tour
+	f.Add(uint8(4), 400.0, 30.0, 400.0, 1.0, 0.6, 0.0, int64(2)) // single-slot windows
+	f.Add(uint8(5), 300.0, 60.0, 10.0, 1.0, 0.0, 0.0, int64(3))  // zero-energy sensors
+	f.Add(uint8(6), 500.0, 120.0, 5.0, 2.0, 0.8, 0.3, int64(4))  // fixed transmit power
+	f.Add(uint8(1), 50.0, 0.0, 1.0, 0.5, 0.2, 0.0, int64(5))     // lone sensor on the path
+	f.Fuzz(func(t *testing.T, nRaw uint8, pathLen, maxOffset, speed, tau, budget, fixedPower float64, seed int64) {
+		for _, v := range []float64{pathLen, maxOffset, speed, tau, budget, fixedPower} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		if pathLen <= 0 || pathLen > 2000 || maxOffset < 0 || maxOffset > 500 {
+			return
+		}
+		if speed <= 0 || tau <= 0 || budget < 0 || budget > 1e6 || fixedPower < 0 {
+			return
+		}
+		// Bound the slot count so each execution stays cheap.
+		if pathLen/(speed*tau) > 512 {
+			return
+		}
+		n := int(nRaw%8) + 1
+		dep, err := network.Generate(network.Params{
+			N: n, PathLength: pathLen, MaxOffset: maxOffset, Seed: seed,
+		})
+		if err != nil {
+			t.Fatalf("Generate rejected sanitized params: %v", err)
+		}
+		if err := dep.SetUniformBudgets(budget); err != nil {
+			t.Fatalf("SetUniformBudgets(%v): %v", budget, err)
+		}
+		var model radio.Model = radio.Paper2013()
+		if fixedPower > 0 {
+			fp, err := radio.NewFixedPower(radio.Paper2013(), fixedPower)
+			if err != nil {
+				return // power outside the rate table
+			}
+			model = fp
+		}
+		inst, err := core.BuildInstance(dep, model, speed, tau)
+		if err != nil {
+			return
+		}
+		check := func(name string, a *core.Allocation, err error) {
+			if err != nil {
+				return // a rejected instance is fine; a panic is not
+			}
+			data, verr := inst.Validate(a)
+			if verr != nil {
+				t.Fatalf("%s: infeasible allocation: %v", name, verr)
+			}
+			if ub := inst.UpperBound(); data > ub+1e-6*(1+ub) {
+				t.Fatalf("%s: collected %v above upper bound %v", name, data, ub)
+			}
+		}
+		a, err := core.OfflineAppro(inst, core.Options{})
+		check("appro", a, err)
+		a, err = core.OfflineAppro(inst, core.Options{Eps: 0.5, ForceFPTAS: true})
+		check("appro-fptas", a, err)
+		a, err = core.OfflineGreedy(inst)
+		check("greedy", a, err)
+		a, err = core.OfflineMaxMatch(inst) // errors on multi-rate; must not panic
+		check("maxmatch", a, err)
+		a, err = core.OfflineSequential(inst, core.Options{})
+		check("sequential", a, err)
 	})
 }
 

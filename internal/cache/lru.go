@@ -18,10 +18,11 @@ import (
 type LRU[K comparable, V any] struct {
 	mu       sync.Mutex
 	capacity int
-	order    *list.List // front = most recently used
-	items    map[K]*list.Element
-	hits     uint64
-	misses   uint64
+	order     *list.List // front = most recently used
+	items     map[K]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type lruEntry[K comparable, V any] struct {
@@ -70,6 +71,7 @@ func (l *LRU[K, V]) Add(k K, v V) {
 		oldest := l.order.Back()
 		l.order.Remove(oldest)
 		delete(l.items, oldest.Value.(*lruEntry[K, V]).key)
+		l.evictions++
 	}
 }
 
@@ -98,4 +100,12 @@ func (l *LRU[K, V]) Stats() (hits, misses uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.hits, l.misses
+}
+
+// Evictions returns the cumulative count of capacity evictions
+// (explicit Removes are not evictions).
+func (l *LRU[K, V]) Evictions() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evictions
 }

@@ -43,3 +43,24 @@ func (m *Memo[K, V]) Len() int { return m.lru.Len() }
 
 // Stats returns cumulative LRU hit and miss counts.
 func (m *Memo[K, V]) Stats() (hits, misses uint64) { return m.lru.Stats() }
+
+// MemoStats is a cumulative snapshot of the cache's behavior: LRU
+// traffic plus single-flight deduplication.
+type MemoStats struct {
+	Hits      uint64 // LRU lookups served from memory
+	Misses    uint64 // LRU lookups that fell through
+	Evictions uint64 // entries dropped by capacity pressure
+	Collapses uint64 // callers who shared another caller's computation
+}
+
+// StatsAll returns the full cumulative stats (the metrics exporter's
+// read path).
+func (m *Memo[K, V]) StatsAll() MemoStats {
+	h, ms := m.lru.Stats()
+	return MemoStats{
+		Hits:      h,
+		Misses:    ms,
+		Evictions: m.lru.Evictions(),
+		Collapses: m.sf.Collapses(),
+	}
+}

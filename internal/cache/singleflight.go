@@ -1,14 +1,18 @@
 package cache
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Group collapses concurrent calls with the same key into one execution:
 // the first caller runs fn, later callers block and receive the same
 // result. Unlike golang.org/x/sync/singleflight (not vendored here —
 // the repo is stdlib-only), results are typed via generics.
 type Group[K comparable, V any] struct {
-	mu    sync.Mutex
-	calls map[K]*call[V]
+	mu        sync.Mutex
+	calls     map[K]*call[V]
+	collapses atomic.Uint64
 	// waitHook, when set, runs each time a caller attaches to another
 	// caller's in-flight computation (test seam for deterministic
 	// concurrency tests).
@@ -34,6 +38,7 @@ func (g *Group[K, V]) Do(k K, fn func() (V, error)) (v V, err error, shared bool
 	}
 	if c, ok := g.calls[k]; ok {
 		g.mu.Unlock()
+		g.collapses.Add(1)
 		if g.waitHook != nil {
 			g.waitHook()
 		}
@@ -53,3 +58,7 @@ func (g *Group[K, V]) Do(k K, fn func() (V, error)) (v V, err error, shared bool
 	c.val, c.err = fn()
 	return c.val, c.err, false
 }
+
+// Collapses returns the cumulative number of callers that attached to
+// another caller's in-flight computation instead of running fn.
+func (g *Group[K, V]) Collapses() uint64 { return g.collapses.Load() }

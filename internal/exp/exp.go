@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"time"
 
 	"mobisink/internal/core"
 	"mobisink/internal/energy"
@@ -122,7 +123,18 @@ const (
 )
 
 // runAlgorithm dispatches by algorithm name; returns collected bits.
+// Every run feeds the solver-runtime and collected-data histograms on
+// the default metrics registry.
 func runAlgorithm(name string, inst *core.Instance) (float64, error) {
+	start := time.Now()
+	bits, err := runAlgorithmUntimed(name, inst)
+	if err == nil {
+		observeRun(name, bits, time.Since(start))
+	}
+	return bits, err
+}
+
+func runAlgorithmUntimed(name string, inst *core.Instance) (float64, error) {
 	switch name {
 	case AlgOfflineAppro:
 		a, err := core.OfflineAppro(inst, core.Options{})
@@ -273,6 +285,7 @@ func runTrial(cfg Config, c cell, trial int) trialResult {
 		}
 		res.bits[alg] = bits
 	}
+	trialsRun.Inc()
 	return res
 }
 

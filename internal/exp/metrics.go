@@ -1,0 +1,29 @@
+package exp
+
+import (
+	"time"
+
+	"mobisink/internal/metrics"
+)
+
+// Package-level instrumentation on the process-wide registry: every
+// algorithm run during an experiment feeds the solver-runtime and
+// per-tour collected-data histograms, so `cmd/mobisink -stats` (and
+// an allocserver sharing metrics.Default) can report solver behavior
+// across a whole campaign.
+var (
+	solverRuntime = metrics.Default().HistogramVec("exp_solver_runtime_seconds",
+		"Wall time of one algorithm run on one tour instance.",
+		metrics.ExpBuckets(1e-4, 4, 10), "algorithm")
+	tourCollected = metrics.Default().HistogramVec("exp_tour_collected_mb",
+		"Data collected in one tour, megabits.",
+		metrics.ExpBuckets(0.25, 2, 12), "algorithm")
+	trialsRun = metrics.Default().Counter("exp_trials_total",
+		"Experiment trials completed (one topology, all cell algorithms).")
+)
+
+// observeRun records one algorithm execution into the histograms.
+func observeRun(alg string, bits float64, elapsed time.Duration) {
+	solverRuntime.With(alg).Observe(elapsed.Seconds())
+	tourCollected.With(alg).Observe(bits / 1e6)
+}

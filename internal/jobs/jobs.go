@@ -101,12 +101,18 @@ type Queue struct {
 	doneOrder []string // FIFO of terminal job ids, for retention
 	seq       uint64
 	closed    bool
+
+	m *Metrics // optional instrumentation; nil disables
 }
+
+// QueueOption configures a queue at construction time (see
+// WithMetrics).
+type QueueOption func(*Queue)
 
 // New returns a queue running at most workers jobs concurrently
 // (GOMAXPROCS when workers ≤ 0) and holding at most depth waiting jobs
 // (minimum 1) before Submit reports ErrQueueFull.
-func New(workers, depth int) *Queue {
+func New(workers, depth int, opts ...QueueOption) *Queue {
 	if depth < 1 {
 		depth = 1
 	}
@@ -117,6 +123,9 @@ func New(workers, depth int) *Queue {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
+	}
+	for _, o := range opts {
+		o(q)
 	}
 	q.wg.Add(1)
 	go q.dispatch()
@@ -156,6 +165,9 @@ func (q *Queue) Submit(fn Func, opts ...Option) (string, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
+		if q.m != nil {
+			q.m.Rejected.With("closed").Inc()
+		}
 		return "", ErrClosed
 	}
 	q.seq++
@@ -163,8 +175,15 @@ func (q *Queue) Submit(fn Func, opts ...Option) (string, error) {
 	select {
 	case q.ch <- jb:
 		q.jobs[jb.id] = jb
+		if q.m != nil {
+			q.m.Submitted.Inc()
+		}
+		q.m.transition(StateQueued)
 		return jb.id, nil
 	default:
+		if q.m != nil {
+			q.m.Rejected.With("full").Inc()
+		}
 		return "", ErrQueueFull
 	}
 }
@@ -201,6 +220,7 @@ func (q *Queue) Cancel(id string) (Status, error) {
 		jb.finishedAt = time.Now()
 		close(jb.done)
 		jb.mu.Unlock()
+		q.m.transition(StateCanceled)
 		q.retire(jb.id)
 		return jb.status(), nil
 	case StateRunning:
@@ -317,6 +337,7 @@ func (q *Queue) run(jb *job) {
 		jb.finishedAt = time.Now()
 		close(jb.done)
 		jb.mu.Unlock()
+		q.m.transition(StateCanceled)
 		q.retire(jb.id)
 		return
 	}
@@ -330,7 +351,10 @@ func (q *Queue) run(jb *job) {
 	jb.state = StateRunning
 	jb.startedAt = time.Now()
 	jb.cancelRun = cancel
+	queuedAt, startedAt := jb.queuedAt, jb.startedAt
 	jb.mu.Unlock()
+	q.m.transition(StateRunning)
+	q.m.observeWait(queuedAt, startedAt)
 	defer cancel()
 
 	type outcome struct {
@@ -379,8 +403,11 @@ func (q *Queue) finish(jb *job, v any, err error) {
 		jb.state = StateFailed
 		jb.err = err
 	}
+	state, startedAt, finishedAt := jb.state, jb.startedAt, jb.finishedAt
 	close(jb.done)
 	jb.mu.Unlock()
+	q.m.transition(state)
+	q.m.observeRun(startedAt, finishedAt)
 	q.retire(jb.id)
 }
 

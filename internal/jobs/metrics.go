@@ -1,0 +1,90 @@
+package jobs
+
+import (
+	"time"
+
+	"mobisink/internal/metrics"
+)
+
+// Metrics is the queue's instrumentation set. Construct with NewMetrics
+// against a registry and attach via WithMetrics; a nil *Metrics
+// disables instrumentation (the queue takes no locks and emits
+// nothing).
+type Metrics struct {
+	// Submitted counts accepted submissions (jobs_submitted_total).
+	Submitted *metrics.Counter
+	// Rejected counts refused submissions by reason: "full" or "closed"
+	// (jobs_rejected_total{reason}).
+	Rejected *metrics.CounterVec
+	// Transitions counts lifecycle entries by state: queued, running,
+	// done, failed, canceled (jobs_transitions_total{state}).
+	Transitions *metrics.CounterVec
+	// Wait observes queued→running delay in seconds
+	// (jobs_wait_seconds).
+	Wait *metrics.Histogram
+	// Run observes running→terminal duration in seconds
+	// (jobs_run_seconds).
+	Run *metrics.Histogram
+}
+
+// NewMetrics registers the queue's metric families on r.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		Submitted: r.Counter("jobs_submitted_total",
+			"Jobs accepted into the queue."),
+		Rejected: r.CounterVec("jobs_rejected_total",
+			"Submissions refused, by reason (full, closed).", "reason"),
+		Transitions: r.CounterVec("jobs_transitions_total",
+			"Job lifecycle transitions, by entered state.", "state"),
+		Wait: r.Histogram("jobs_wait_seconds",
+			"Time jobs spend queued before a worker picks them up.", nil),
+		Run: r.Histogram("jobs_run_seconds",
+			"Time jobs spend executing on a worker.", nil),
+	}
+}
+
+// WithMetrics attaches an instrumentation set to the queue at
+// construction time.
+func WithMetrics(m *Metrics) QueueOption {
+	return func(q *Queue) { q.m = m }
+}
+
+// RegisterGauges registers the queue's live-state gauges on r:
+// jobs_queue_depth (waiting), jobs_running, jobs_queue_capacity, and
+// jobs_workers. Gauges are read at scrape time from the queue itself.
+func (q *Queue) RegisterGauges(r *metrics.Registry) {
+	r.GaugeFunc("jobs_queue_depth",
+		"Jobs waiting for a worker.", func() float64 {
+			return float64(q.Stats().Queued)
+		})
+	r.GaugeFunc("jobs_running",
+		"Jobs currently executing.", func() float64 {
+			return float64(q.Stats().Running)
+		})
+	r.GaugeFunc("jobs_queue_capacity",
+		"Maximum number of waiting jobs before submissions are rejected.",
+		func() float64 { return float64(q.Depth()) })
+	r.GaugeFunc("jobs_workers",
+		"Worker pool size.", func() float64 { return float64(q.Workers()) })
+}
+
+// transition records one lifecycle entry; nil-safe.
+func (m *Metrics) transition(state State) {
+	if m != nil {
+		m.Transitions.With(string(state)).Inc()
+	}
+}
+
+// observeWait records a queued→running delay; nil-safe.
+func (m *Metrics) observeWait(queued, started time.Time) {
+	if m != nil {
+		m.Wait.Observe(started.Sub(queued).Seconds())
+	}
+}
+
+// observeRun records a running→terminal duration; nil-safe.
+func (m *Metrics) observeRun(started, finished time.Time) {
+	if m != nil && !started.IsZero() {
+		m.Run.Observe(finished.Sub(started).Seconds())
+	}
+}

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): per family a # HELP and # TYPE line, then one
+// sample line per series; histograms expand into cumulative _bucket
+// series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.families() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.snapshotSeries() {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch {
+	case s.hist != nil:
+		cum := s.hist.cumulative()
+		total := s.hist.Count()
+		for i, bound := range s.hist.bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, withLabel(s.labels, "le", formatBound(bound)), cum[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, withLabel(s.labels, "le", "+Inf"), total); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatValue(s.hist.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, total)
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(s.value()))
+		return err
+	}
+}
+
+// value reads a scalar series (counter, gauge, or func-backed).
+func (s *series) value() float64 {
+	switch {
+	case s.fn != nil:
+		return s.fn()
+	case s.ctr != nil:
+		return s.ctr.Value()
+	case s.gauge != nil:
+		return s.gauge.Value()
+	}
+	return 0
+}
+
+// withLabel appends one extra label to an already-rendered label set.
+func withLabel(labels, name, value string) string {
+	extra := name + `="` + escapeLabel(value) + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(h string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}
+
+// Handler returns an http.Handler serving the registry as
+// text/plain; version=0.0.4 (the Prometheus scrape format).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Values is a point-in-time flattening of a registry: exposition keys
+// (name plus rendered labels; histograms contribute _bucket/_sum/_count
+// entries exactly as in the text format) mapped to values.
+type Values map[string]float64
+
+// Get returns the value for an exposition key, 0 if absent.
+func (s Values) Get(key string) float64 { return s[key] }
+
+// Snapshot flattens the registry's current state for direct assertions.
+func (r *Registry) Snapshot() Values {
+	out := make(Values)
+	for _, f := range r.families() {
+		for _, s := range f.snapshotSeries() {
+			if s.hist != nil {
+				cum := s.hist.cumulative()
+				for i, bound := range s.hist.bounds {
+					out[f.name+"_bucket"+withLabel(s.labels, "le", formatBound(bound))] = float64(cum[i])
+				}
+				out[f.name+"_bucket"+withLabel(s.labels, "le", "+Inf")] = float64(s.hist.Count())
+				out[f.name+"_sum"+s.labels] = s.hist.Sum()
+				out[f.name+"_count"+s.labels] = float64(s.hist.Count())
+				continue
+			}
+			out[f.name+s.labels] = s.value()
+		}
+	}
+	return out
+}
+
+// Snapshot flattens the Default registry (the form cmd/mobisink -stats
+// and package-level instrumentation tests use).
+func Snapshot() Values { return Default().Snapshot() }

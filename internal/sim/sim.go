@@ -9,6 +9,19 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"mobisink/internal/metrics"
+)
+
+// Engine instrumentation on the process-wide registry: protocol
+// simulations are the hot inner loop of the online experiments, so
+// event volume per run is worth watching when tuning throughput.
+var (
+	simEvents = metrics.Default().Counter("sim_events_executed_total",
+		"Discrete events executed across all engine runs.")
+	simEventsPerRun = metrics.Default().Histogram("sim_events_per_run",
+		"Events executed in one Engine.Run call.",
+		metrics.ExpBuckets(1, 4, 12))
 )
 
 // Event is a callback executed at its scheduled simulation time.
@@ -99,6 +112,8 @@ func (e *Engine) Run() int {
 		n++
 		e.executed++
 	}
+	simEvents.Add(float64(n))
+	simEventsPerRun.Observe(float64(n))
 	return n
 }
 

@@ -1,0 +1,91 @@
+package srv
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"mobisink/internal/metrics"
+)
+
+// httpMetrics is the per-route HTTP instrumentation: request counts by
+// status class, latency histograms, and an in-flight gauge.
+type httpMetrics struct {
+	requests *metrics.CounterVec   // http_requests_total{route,code}
+	latency  *metrics.HistogramVec // http_request_seconds{route}
+	inflight *metrics.Gauge        // http_inflight_requests
+}
+
+func newHTTPMetrics(r *metrics.Registry) *httpMetrics {
+	return &httpMetrics{
+		requests: r.CounterVec("http_requests_total",
+			"HTTP requests served, by route pattern and status class.",
+			"route", "code"),
+		latency: r.HistogramVec("http_request_seconds",
+			"HTTP request latency by route pattern.", nil, "route"),
+		inflight: r.Gauge("http_inflight_requests",
+			"Requests currently being served."),
+	}
+}
+
+// statusRecorder captures the status code written by a handler
+// (defaulting to 200 for handlers that never call WriteHeader).
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// statusClass buckets a status code as "2xx", "4xx", …
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return strconv.Itoa(code/100) + "xx"
+}
+
+// instrument wraps a handler with request counting, latency
+// observation, and in-flight tracking, labeling by the route pattern
+// (not the concrete path, so /v1/jobs/{id} stays one series).
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.hm.inflight.Inc()
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			s.hm.inflight.Dec()
+			s.hm.requests.With(route, statusClass(sr.code)).Inc()
+			s.hm.latency.With(route).Observe(time.Since(start).Seconds())
+		}()
+		h(sr, r)
+	}
+}
+
+// registerStateMetrics exports the server's live state: queue gauges
+// and cumulative cache counters, all read at scrape time.
+func (s *Server) registerStateMetrics(r *metrics.Registry) {
+	s.queue.RegisterGauges(r)
+	r.CounterFunc("cache_hits_total",
+		"Allocation results served from the LRU.", func() float64 {
+			return float64(s.memo.StatsAll().Hits)
+		})
+	r.CounterFunc("cache_misses_total",
+		"Allocation requests that missed the LRU.", func() float64 {
+			return float64(s.memo.StatsAll().Misses)
+		})
+	r.CounterFunc("cache_evictions_total",
+		"Cached results dropped by capacity pressure.", func() float64 {
+			return float64(s.memo.StatsAll().Evictions)
+		})
+	r.CounterFunc("cache_singleflight_collapses_total",
+		"Concurrent identical requests that shared one solver run.",
+		func() float64 { return float64(s.memo.StatsAll().Collapses) })
+	r.GaugeFunc("cache_entries",
+		"Results currently cached.", func() float64 {
+			return float64(s.memo.Len())
+		})
+}

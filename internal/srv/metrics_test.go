@@ -1,0 +1,273 @@
+package srv
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mobisink/internal/metrics"
+)
+
+// scrape fetches and returns the /metrics body.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	var b strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		b.WriteString(sc.Text())
+		b.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+var (
+	helpRe   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (NaN|[+-]?Inf|[+-]?[0-9.eE+-]+)$`)
+)
+
+// validatePrometheus asserts body is well-formed Prometheus text
+// exposition format: every line is a HELP/TYPE comment or a sample,
+// every sample's family was TYPE-declared, histogram buckets are
+// cumulative and end at +Inf == _count.
+func validatePrometheus(t *testing.T, body string) {
+	t.Helper()
+	types := map[string]string{}
+	type histState struct {
+		lastCum  float64
+		infSeen  bool
+		count    float64
+		hasCount bool
+		inf      float64
+	}
+	hists := map[string]*histState{}
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case line == "":
+			t.Fatalf("line %d: empty line", ln+1)
+		case strings.HasPrefix(line, "# HELP "):
+			if !helpRe.MatchString(line) {
+				t.Fatalf("line %d: bad HELP: %q", ln+1, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: bad TYPE: %q", ln+1, line)
+			}
+			if _, dup := types[m[1]]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, m[1])
+			}
+			types[m[1]] = m[2]
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: bad sample: %q", ln+1, line)
+			}
+			name, labels, valStr := m[1], m[2], m[3]
+			base := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if trimmed, ok := strings.CutSuffix(name, suffix); ok {
+					if _, isHist := types[trimmed]; isHist {
+						base = trimmed
+						break
+					}
+				}
+			}
+			kind, declared := types[base]
+			if !declared {
+				t.Fatalf("line %d: sample %s without TYPE declaration", ln+1, name)
+			}
+			val, err := strconv.ParseFloat(strings.Replace(valStr, "Inf", "inf", 1), 64)
+			if err != nil && !strings.Contains(valStr, "Inf") && valStr != "NaN" {
+				t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+			}
+			if kind == "histogram" {
+				hs := hists[base+stripLe(labels)]
+				if hs == nil {
+					hs = &histState{}
+					hists[base+stripLe(labels)] = hs
+				}
+				switch {
+				case strings.HasSuffix(name, "_bucket"):
+					if val+1e-9 < hs.lastCum {
+						t.Fatalf("line %d: non-cumulative bucket %q (%v < %v)", ln+1, line, val, hs.lastCum)
+					}
+					hs.lastCum = val
+					if strings.Contains(labels, `le="+Inf"`) {
+						hs.infSeen = true
+						hs.inf = val
+					}
+				case strings.HasSuffix(name, "_count"):
+					hs.count = val
+					hs.hasCount = true
+				}
+			}
+		}
+	}
+	for series, hs := range hists {
+		if !hs.infSeen {
+			t.Errorf("histogram %s: no +Inf bucket", series)
+		}
+		if !hs.hasCount {
+			t.Errorf("histogram %s: no _count", series)
+		} else if hs.inf != hs.count {
+			t.Errorf("histogram %s: +Inf bucket %v != count %v", series, hs.inf, hs.count)
+		}
+	}
+	if len(types) == 0 {
+		t.Fatal("no metric families exposed")
+	}
+}
+
+// stripLe removes the le label so all buckets of one histogram series
+// share a key.
+func stripLe(labels string) string {
+	out := regexp.MustCompile(`,?le="(?:[^"\\]|\\.)*"`).ReplaceAllString(labels, "")
+	if out == "{}" {
+		return ""
+	}
+	return strings.Replace(out, "{,", "{", 1)
+}
+
+// TestMetricsEndpointFormat scrapes a live server and validates the
+// exposition, before and after traffic.
+func TestMetricsEndpointFormat(t *testing.T) {
+	var calls atomic.Int64
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4}, blockingRun(&calls, nil))
+	validatePrometheus(t, scrape(t, ts.URL))
+
+	// Drive every route at least once.
+	doJSON(t, http.MethodPost, ts.URL+"/v1/allocate", Request{Deployment: stubDep, Speed: 5, SlotLen: 1})
+	acc := decodeBody[JobAccepted](t, doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
+		JobRequest{Request: Request{Deployment: stubDep, Speed: 6, SlotLen: 1}}))
+	doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+acc.ID, nil)
+	doJSON(t, http.MethodGet, ts.URL+"/v1/healthz", nil)
+	doJSON(t, http.MethodPost, ts.URL+"/v1/batch",
+		BatchRequest{Requests: []Request{{Deployment: stubDep, Speed: 7, SlotLen: 1}}})
+	validatePrometheus(t, scrape(t, ts.URL))
+}
+
+// TestMetricsCountTraffic is the acceptance check: after requests, the
+// HTTP counters, latency histograms, queue counters, and cache counters
+// are all nonzero and consistent.
+func TestMetricsCountTraffic(t *testing.T) {
+	var calls atomic.Int64
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4, CacheEntries: 8}, blockingRun(&calls, nil))
+
+	req := Request{Deployment: stubDep, Speed: 5, SlotLen: 1}
+	doJSON(t, http.MethodPost, ts.URL+"/v1/allocate", req) // miss
+	doJSON(t, http.MethodPost, ts.URL+"/v1/allocate", req) // hit
+	acc := decodeBody[JobAccepted](t, doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
+		JobRequest{Request: Request{Deployment: stubDep, Speed: 9, SlotLen: 1}}))
+	waitForState(t, ts.URL, acc.ID, "done")
+
+	snap := s.Metrics().Snapshot()
+	checks := []struct {
+		key  string
+		want float64
+	}{
+		{`http_requests_total{route="/v1/allocate",code="2xx"}`, 2},
+		{`http_requests_total{route="/v1/jobs",code="2xx"}`, 1},
+		{`jobs_submitted_total`, 1},
+		{`jobs_transitions_total{state="queued"}`, 1},
+		{`jobs_transitions_total{state="done"}`, 1},
+		{`cache_hits_total`, 1},
+	}
+	for _, c := range checks {
+		if got := snap.Get(c.key); got != c.want {
+			t.Errorf("%s = %v, want %v", c.key, got, c.want)
+		}
+	}
+	for _, positive := range []string{
+		`http_request_seconds_count{route="/v1/allocate"}`,
+		`jobs_wait_seconds_count`,
+		`jobs_run_seconds_count`,
+		`cache_misses_total`,
+		`jobs_workers`,
+		`jobs_queue_capacity`,
+	} {
+		if got := snap.Get(positive); got <= 0 {
+			t.Errorf("%s = %v, want > 0", positive, got)
+		}
+	}
+	// Status-class labeling: a bad request lands in 4xx.
+	doJSON(t, http.MethodPost, ts.URL+"/v1/allocate", map[string]any{"nope": 1})
+	if got := s.Metrics().Snapshot().Get(`http_requests_total{route="/v1/allocate",code="4xx"}`); got != 1 {
+		t.Errorf("4xx counter = %v, want 1", got)
+	}
+}
+
+// TestQueueRejectionMetrics drives the queue to saturation and asserts
+// the rejection counter moves with the 429s.
+func TestQueueRejectionMetrics(t *testing.T) {
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1}, blockingRun(&calls, gate))
+	defer close(gate)
+
+	rejected := 0
+	for i := 0; i < 8; i++ {
+		resp := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
+			JobRequest{Request: Request{Deployment: stubDep, Speed: float64(i + 1), SlotLen: 1}})
+		if resp.StatusCode == http.StatusTooManyRequests {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("expected at least one 429")
+	}
+	snap := s.Metrics().Snapshot()
+	if got := snap.Get(`jobs_rejected_total{reason="full"}`); got != float64(rejected) {
+		t.Errorf(`jobs_rejected_total{reason="full"} = %v, want %v`, got, rejected)
+	}
+	if got := snap.Get(`http_requests_total{route="/v1/jobs",code="4xx"}`); got != float64(rejected) {
+		t.Errorf("4xx on /v1/jobs = %v, want %v", got, rejected)
+	}
+}
+
+// TestSharedRegistryAcrossServers ensures a caller-supplied registry is
+// used as-is (allocserver wires metrics.Default) and Server.Metrics
+// returns it.
+func TestSharedRegistryAcrossServers(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, Metrics: reg}, blockingRun(new(atomic.Int64), nil))
+	if s.Metrics() != reg {
+		t.Fatal("server did not adopt the supplied registry")
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/v1/healthz", nil)
+	if got := reg.Snapshot().Get(`http_requests_total{route="/v1/healthz",code="2xx"}`); got != 1 {
+		t.Fatalf("healthz counter on shared registry = %v, want 1", got)
+	}
+}
+
+// waitForState polls a job until it reaches the wanted state.
+func waitForState(t *testing.T, base, id, want string) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		resp := doJSON(t, http.MethodGet, base+"/v1/jobs/"+id, nil)
+		st := decodeBody[map[string]any](t, resp)
+		if fmt.Sprint(st["state"]) == want {
+			return
+		}
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+}

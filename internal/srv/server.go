@@ -14,6 +14,7 @@ import (
 
 	"mobisink/internal/cache"
 	"mobisink/internal/jobs"
+	"mobisink/internal/metrics"
 )
 
 // Config sizes the service's concurrency and memory knobs; zero values
@@ -33,6 +34,10 @@ type Config struct {
 	// ≤ 0 means no deadline. Individual submissions may set a shorter
 	// one via timeout_ms.
 	JobTimeout time.Duration
+	// Metrics is the registry the server instruments and serves at
+	// GET /metrics; nil means a fresh private registry (Server.Metrics
+	// returns it either way).
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +63,8 @@ type Server struct {
 	cfg   Config
 	queue *jobs.Queue
 	memo  *cache.Memo[string, *Response]
+	reg   *metrics.Registry
+	hm    *httpMetrics
 	// run computes one allocation; it defaults to Allocate and exists so
 	// tests can observe or stall computations.
 	run func(*Request) (*Response, error)
@@ -66,13 +73,25 @@ type Server struct {
 // New returns a started server (its worker pool is live immediately).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Server{
 		cfg:   cfg,
-		queue: jobs.New(cfg.Workers, cfg.QueueDepth),
+		queue: jobs.New(cfg.Workers, cfg.QueueDepth, jobs.WithMetrics(jobs.NewMetrics(reg))),
 		memo:  cache.NewMemo[string, *Response](cfg.CacheEntries),
+		reg:   reg,
+		hm:    newHTTPMetrics(reg),
 		run:   Allocate,
 	}
+	s.registerStateMetrics(reg)
+	return s
 }
+
+// Metrics returns the server's registry (for embedders that want to add
+// their own instruments or serve it elsewhere).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // NewMux returns a default-configured service routing table (the
 // historical entry point, kept for embedders that only need the
@@ -83,16 +102,20 @@ func NewMux() *http.ServeMux { return New(Config{}).Mux() }
 // ctx expires; stragglers are canceled on expiry.
 func (s *Server) Close(ctx context.Context) error { return s.queue.Close(ctx) }
 
-// Mux returns the service's routing table.
+// Mux returns the service's routing table. Every /v1 route is wrapped
+// in the metrics middleware (request counts by status class, latency
+// histograms, in-flight gauge); the registry itself is served at
+// GET /metrics in the Prometheus text format.
 func (s *Server) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz) // GET also serves HEAD
-	mux.HandleFunc("GET /v1/version", s.handleVersion)
-	mux.HandleFunc("POST /v1/allocate", s.handleAllocate)
-	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/healthz", s.instrument("/v1/healthz", s.handleHealthz)) // GET also serves HEAD
+	mux.HandleFunc("GET /v1/version", s.instrument("/v1/version", s.handleVersion))
+	mux.HandleFunc("POST /v1/allocate", s.instrument("/v1/allocate", s.handleAllocate))
+	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobCancel))
+	mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
+	mux.Handle("GET /metrics", s.reg.Handler())
 	return mux
 }
 

@@ -506,3 +506,40 @@ func TestServerCloseDrains(t *testing.T) {
 		t.Fatalf("submit after close: %d, want 503", resp.StatusCode)
 	}
 }
+
+// Regression: unknown job ids on GET and DELETE must be 404, never 500.
+// (The service maps jobs.ErrUnknownJob onto http.StatusNotFound in
+// writeError; this pins both handlers to that mapping, including ids
+// that never existed, ids of retired records, and ids with hostile
+// characters.)
+func TestJobGetCancelUnknown404(t *testing.T) {
+	var calls atomic.Int64
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4}, blockingRun(&calls, nil))
+
+	for _, id := range []string{"does-not-exist", "j0", "j18446744073709551615", "%20", "j1'--"} {
+		for _, method := range []string{http.MethodGet, http.MethodDelete} {
+			resp := doJSON(t, method, ts.URL+"/v1/jobs/"+id, nil)
+			if resp.StatusCode != http.StatusNotFound {
+				t.Errorf("%s /v1/jobs/%s = %d, want 404", method, id, resp.StatusCode)
+			}
+			if resp.StatusCode >= 500 {
+				t.Errorf("%s /v1/jobs/%s returned server error %d", method, id, resp.StatusCode)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			if !strings.Contains(string(body), "unknown job") {
+				t.Errorf("%s /v1/jobs/%s body %q, want unknown-job message", method, id, body)
+			}
+		}
+	}
+
+	// A known id still works, and cancel of a terminal job stays 200.
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{Request: speedReq(3)})
+	acc := decodeBody[JobAccepted](t, resp)
+	waitForState(t, ts.URL, acc.ID, "done")
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+acc.ID, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET known job: %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+acc.ID, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE terminal job: %d", resp.StatusCode)
+	}
+}
