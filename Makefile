@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-metrics test-race vet bench cover experiments examples clean
+.PHONY: all build test test-metrics test-race vet check bench bench-all cover experiments examples clean
 
 all: build vet test
 
@@ -12,7 +12,16 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: test-metrics
+# Hygiene gate: formatting, vet, and the solver engine under the race
+# detector (the parallel component decomposition is the main concurrent
+# hot path). Part of the default `test` target.
+check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) test -race ./internal/solve ./internal/gap
+
+test: check test-metrics
 	$(GO) test ./...
 
 # Observability gate: the metrics registry and the instrumented HTTP
@@ -30,7 +39,13 @@ test-race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# Solver benchmark campaign: every registered solver at N ∈ {50,100,200},
+# results captured as BENCH_solvers.json for regression tracking.
 bench:
+	$(GO) test -run '^$$' -bench BenchmarkSolvers -benchmem ./internal/solve \
+		| $(GO) run ./cmd/benchjson -o BENCH_solvers.json
+
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 cover:
@@ -50,4 +65,4 @@ examples:
 	$(GO) run ./examples/highway
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt BENCH_solvers.json

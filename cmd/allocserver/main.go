@@ -42,19 +42,23 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"mobisink/internal/metrics"
+	"mobisink/internal/solve"
 	"mobisink/internal/srv"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	listAlgs := flag.Bool("list-algorithms", false, "print the registered algorithm names and exit")
 	workers := flag.Int("workers", 0, "solver worker pool size (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue-depth", 64, "max queued jobs before 429")
 	cacheEntries := flag.Int("cache-entries", 256, "LRU result cache size")
@@ -63,6 +67,14 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
 	debugAddr := flag.String("debug-addr", "", "optional second listener for /debug/pprof/ and /metrics (empty = disabled)")
 	flag.Parse()
+
+	if *listAlgs {
+		// The API accepts the lowercase spellings of the registry names.
+		for _, name := range solve.Names() {
+			fmt.Println(strings.ToLower(name))
+		}
+		return
+	}
 
 	// Instrument into the process-wide registry so the exp/sim
 	// histograms of any embedded experiment code surface too.

@@ -1,0 +1,124 @@
+// Command benchjson converts `go test -bench` text output into JSON, so
+// benchmark campaigns (make bench) leave a machine-readable artifact
+// behind instead of a scrollback log.
+//
+// It reads the benchmark log on stdin and writes a JSON array; lines that
+// are not benchmark results (the ok/PASS trailer, goos/goarch headers)
+// are ignored. Sub-benchmark paths are split on "/" and an N=<size>
+// component, when present, is lifted into its own field:
+//
+//	go test -bench BenchmarkSolvers -benchmem ./internal/solve | benchjson -o BENCH_solvers.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	// Name is the full benchmark path, GOMAXPROCS suffix stripped
+	// (e.g. "BenchmarkSolvers/Offline_Appro/N=100").
+	Name string `json:"name"`
+	// Case is the first sub-benchmark component, when any (e.g.
+	// "Offline_Appro").
+	Case string `json:"case,omitempty"`
+	// N is the problem size parsed from an "N=<int>" path component;
+	// 0 when the benchmark has none.
+	N           int     `json:"n,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Iterations: iters}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	r.Name = name
+	parts := strings.Split(name, "/")
+	if len(parts) > 1 {
+		r.Case = parts[1]
+	}
+	for _, p := range parts {
+		if v, ok := strings.CutPrefix(p, "N="); ok {
+			if n, err := strconv.Atoi(v); err == nil {
+				r.N = n
+			}
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			r.NsPerOp, _ = strconv.ParseFloat(val, 64)
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	if r.NsPerOp == 0 {
+		return Result{}, false
+	}
+	return r, true
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+	}
+}

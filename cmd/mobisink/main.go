@@ -24,6 +24,7 @@ import (
 	"mobisink/internal/energy"
 	"mobisink/internal/exp"
 	"mobisink/internal/metrics"
+	"mobisink/internal/solve"
 )
 
 func main() {
@@ -38,8 +39,16 @@ func main() {
 		panel     = flag.Float64("panel", 0, "solar panel area in mm² (default: paper 10×10)")
 		workers   = flag.Int("workers", 0, "parallel trial workers (default GOMAXPROCS)")
 		stats     = flag.Bool("stats", false, "after the run, dump the metrics snapshot (solver runtimes, per-tour data, event counts)")
+		solvers   = flag.Bool("solvers", false, "list the registered solver algorithms and exit")
 	)
 	flag.Parse()
+
+	if *solvers {
+		for _, name := range solve.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	cfg := exp.Config{
 		Trials:       *trials,

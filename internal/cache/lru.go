@@ -16,8 +16,8 @@ import (
 // zero value is not usable; construct with NewLRU. All methods are safe
 // for concurrent use.
 type LRU[K comparable, V any] struct {
-	mu       sync.Mutex
-	capacity int
+	mu        sync.Mutex
+	capacity  int
 	order     *list.List // front = most recently used
 	items     map[K]*list.Element
 	hits      uint64

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -76,12 +77,19 @@ func (inst *Instance) rateQuantumBits() float64 {
 // profit decomposition it remains sound under per-sensor data caps
 // (the objective of each subproblem *is* the capped quantity).
 func OfflineSequential(inst *Instance, opts Options) (*Allocation, error) {
+	return OfflineSequentialCtx(context.Background(), inst, opts)
+}
+
+// OfflineSequentialCtx is OfflineSequential with cancellation: the context
+// is polled per sensor and threaded into each per-sensor knapsack.
+func OfflineSequentialCtx(ctx context.Context, inst *Instance, opts Options) (*Allocation, error) {
 	if inst == nil {
 		return nil, errors.New("core: nil instance")
 	}
 	order := sensorOrder(inst)
 	alloc := inst.NewAllocation()
 	quantum := inst.rateQuantumBits()
+	solve := opts.SolverCtx(inst)
 	var items []knapsack.Item
 	var slots []int
 	for _, si := range order {
@@ -100,10 +108,14 @@ func OfflineSequential(inst *Instance, opts Options) (*Allocation, error) {
 			slots = append(slots, j)
 		}
 		var sol knapsack.Solution
+		var err error
 		if cap := inst.DataCapOf(si); math.IsInf(cap, 1) {
-			sol = opts.Solver(inst)(items, s.Budget)
+			sol, err = solve(ctx, items, s.Budget)
 		} else {
-			sol = knapsack.MaxProfitUnder(items, s.Budget, cap, quantum)
+			sol, err = knapsack.MaxProfitUnderCtx(ctx, items, s.Budget, cap, quantum)
+		}
+		if err != nil {
+			return nil, err
 		}
 		for _, k := range sol.Picked {
 			alloc.SlotOwner[slots[k]] = si

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -24,6 +25,14 @@ type Options struct {
 	// ForceFPTAS always uses the FPTAS inner solver, matching the paper's
 	// stated construction (β = 1+ε ⇒ ratio 1/(2+ε)).
 	ForceFPTAS bool
+	// Parallel decomposes the GAP bin sequence into connected components
+	// of overlapping visibility windows and solves the components
+	// concurrently. The merged allocation is identical to the sequential
+	// one (components share no slots; see gap.LocalRatioParallelCtx).
+	Parallel bool
+	// Workers bounds component parallelism when Parallel is set;
+	// ≤ 0 means GOMAXPROCS.
+	Workers int
 }
 
 func (o Options) Solver(inst *Instance) knapsack.Solver {
@@ -43,6 +52,28 @@ func (o Options) Solver(inst *Instance) knapsack.Solver {
 		}
 	}
 	return knapsack.FPTAS(eps)
+}
+
+// SolverCtx is Solver with cancellation support: the automatic DP/FPTAS
+// choices poll the context inside their inner loops, while an explicit
+// Knapsack override is checked once per bin.
+func (o Options) SolverCtx(inst *Instance) knapsack.SolverCtx {
+	if o.Knapsack != nil {
+		return o.Knapsack.Ctx()
+	}
+	eps := o.Eps
+	if eps <= 0 {
+		eps = 0.1
+	}
+	if o.ForceFPTAS {
+		return knapsack.FPTASCtx(eps)
+	}
+	if q, ok := inst.weightQuantum(); ok {
+		return func(ctx context.Context, items []knapsack.Item, c float64) (knapsack.Solution, error) {
+			return knapsack.DPCtx(ctx, items, c, q)
+		}
+	}
+	return knapsack.FPTASCtx(eps)
 }
 
 // weightQuantum finds a common quantum dividing every per-slot energy cost
@@ -91,29 +122,28 @@ func gcd64(a, b int64) int64 {
 // claimed it. With a β-approximate knapsack the allocation is within
 // 1/(1+β) of optimal.
 func OfflineAppro(inst *Instance, opts Options) (*Allocation, error) {
+	return OfflineApproCtx(context.Background(), inst, opts)
+}
+
+// OfflineApproCtx is OfflineAppro with cancellation: the context is
+// threaded into the local-ratio sweep and the inner knapsack DPs. With
+// opts.Parallel set, the GAP instance is decomposed into connected
+// components of overlapping visibility windows and the components are
+// solved concurrently — the merged allocation is guaranteed identical to
+// the sequential one.
+func OfflineApproCtx(ctx context.Context, inst *Instance, opts Options) (*Allocation, error) {
 	if inst == nil {
 		return nil, errors.New("core: nil instance")
 	}
 	order := sensorOrder(inst)
-	g := &gap.Instance{NumItems: inst.T}
-	g.Bins = make([]gap.Bin, len(order))
-	for b, si := range order {
-		s := &inst.Sensors[si]
-		bin := gap.Bin{Capacity: s.Budget}
-		for j := s.Start; s.Start >= 0 && j <= s.End; j++ {
-			r, p := s.RateAt(j), s.PowerAt(j)
-			if r <= 0 || p <= 0 {
-				continue
-			}
-			bin.Entries = append(bin.Entries, gap.Entry{
-				Item:   j,
-				Profit: r * inst.Tau,
-				Weight: p * inst.Tau,
-			})
-		}
-		g.Bins[b] = bin
+	g := buildGAP(inst, order)
+	var asg *gap.Assignment
+	var err error
+	if opts.Parallel {
+		asg, err = gap.LocalRatioParallelCtx(ctx, g, opts.SolverCtx(inst), opts.Workers)
+	} else {
+		asg, err = gap.LocalRatioCtx(ctx, g, opts.SolverCtx(inst))
 	}
-	asg, err := gap.LocalRatio(g, opts.Solver(inst))
 	if err != nil {
 		return nil, err
 	}
@@ -125,6 +155,35 @@ func OfflineAppro(inst *Instance, opts Options) (*Allocation, error) {
 	}
 	inst.RecomputeData(alloc)
 	return alloc, nil
+}
+
+// buildGAP constructs the paper's GAP reduction (Thm 1) for the given
+// sensor order: one bin per sensor (capacity = per-tour energy budget),
+// one entry per usable window slot (profit = r·τ bits, weight = P·τ
+// Joules). Shared by OfflineAppro and OfflineGreedy, which differ only in
+// bin order and the assignment algorithm run on the result.
+func buildGAP(inst *Instance, order []int) *gap.Instance {
+	g := &gap.Instance{NumItems: inst.T}
+	g.Bins = make([]gap.Bin, len(order))
+	for b, si := range order {
+		s := &inst.Sensors[si]
+		bin := gap.Bin{Capacity: s.Budget}
+		if s.Start >= 0 {
+			for j := s.Start; j <= s.End; j++ {
+				r, p := s.RateAt(j), s.PowerAt(j)
+				if r <= 0 || p <= 0 {
+					continue
+				}
+				bin.Entries = append(bin.Entries, gap.Entry{
+					Item:   j,
+					Profit: r * inst.Tau,
+					Weight: p * inst.Tau,
+				})
+			}
+		}
+		g.Bins[b] = bin
+	}
+	return g
 }
 
 // sensorOrder returns sensor indices sorted by increasing start slot, then
@@ -179,6 +238,12 @@ func (inst *Instance) FixedTxPower() (float64, bool) {
 // n'_i = min(|A(v_i)|, ⌊P(v_i)/(P'·τ)⌋) slots. It errors when the instance
 // is not a fixed-power instance.
 func OfflineMaxMatch(inst *Instance) (*Allocation, error) {
+	return OfflineMaxMatchCtx(context.Background(), inst)
+}
+
+// OfflineMaxMatchCtx is OfflineMaxMatch with cancellation: the context is
+// polled once per augmenting path of the underlying min-cost flow.
+func OfflineMaxMatchCtx(ctx context.Context, inst *Instance) (*Allocation, error) {
 	if inst == nil {
 		return nil, errors.New("core: nil instance")
 	}
@@ -214,7 +279,10 @@ func OfflineMaxMatch(inst *Instance) (*Allocation, error) {
 			}
 		}
 	}
-	res := g.MaxWeight()
+	res, err := g.MaxWeightCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	alloc := inst.NewAllocation()
 	copy(alloc.SlotOwner, res.RightMatch)
 	inst.RecomputeData(alloc)
@@ -223,23 +291,24 @@ func OfflineMaxMatch(inst *Instance) (*Allocation, error) {
 
 // OfflineGreedy is a density-greedy baseline over all (sensor, slot) pairs.
 func OfflineGreedy(inst *Instance) (*Allocation, error) {
+	return OfflineGreedyCtx(context.Background(), inst)
+}
+
+// OfflineGreedyCtx is OfflineGreedy with an up-front cancellation check
+// (the greedy sweep itself is a single fast sort-and-scan).
+func OfflineGreedyCtx(ctx context.Context, inst *Instance) (*Allocation, error) {
 	if inst == nil {
 		return nil, errors.New("core: nil instance")
 	}
-	g := &gap.Instance{NumItems: inst.T}
-	g.Bins = make([]gap.Bin, len(inst.Sensors))
-	for i := range inst.Sensors {
-		s := &inst.Sensors[i]
-		bin := gap.Bin{Capacity: s.Budget}
-		for j := s.Start; s.Start >= 0 && j <= s.End; j++ {
-			r, p := s.RateAt(j), s.PowerAt(j)
-			if r <= 0 || p <= 0 {
-				continue
-			}
-			bin.Entries = append(bin.Entries, gap.Entry{Item: j, Profit: r * inst.Tau, Weight: p * inst.Tau})
-		}
-		g.Bins[i] = bin
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
+	// Identity order: the greedy baseline does not depend on bin order.
+	order := make([]int, len(inst.Sensors))
+	for i := range order {
+		order[i] = i
+	}
+	g := buildGAP(inst, order)
 	asg, err := gap.Greedy(g)
 	if err != nil {
 		return nil, err

@@ -12,12 +12,17 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"mobisink/internal/core"
 )
+
+// ctxCheckNodes is how many search nodes are expanded between context
+// polls.
+const ctxCheckNodes = 4096
 
 // Options bounds the search.
 type Options struct {
@@ -47,6 +52,7 @@ type slotCand struct {
 
 type solver struct {
 	inst     *core.Instance
+	ctx      context.Context
 	cands    [][]slotCand // per slot, profit-descending
 	suffix   []float64    // suffix[j] = Σ_{k≥j} best profit of slot k (energy-free bound)
 	byDens   [][]densItem // per sensor: its window slots in density order
@@ -66,6 +72,13 @@ type densItem struct {
 
 // Solve runs the branch and bound. It requires a non-nil instance.
 func Solve(inst *core.Instance, opts Options) (*Result, error) {
+	return SolveCtx(context.Background(), inst, opts)
+}
+
+// SolveCtx is Solve with cancellation: the search polls the context every
+// few thousand nodes and returns ctx.Err() on expiry (partial incumbents
+// are discarded — a canceled solve has no result).
+func SolveCtx(ctx context.Context, inst *core.Instance, opts Options) (*Result, error) {
 	if inst == nil {
 		return nil, errors.New("exact: nil instance")
 	}
@@ -75,6 +88,7 @@ func Solve(inst *core.Instance, opts Options) (*Result, error) {
 	}
 	s := &solver{
 		inst:     inst,
+		ctx:      ctx,
 		maxNodes: maxNodes,
 		best:     -1,
 	}
@@ -97,6 +111,9 @@ func Solve(inst *core.Instance, opts Options) (*Result, error) {
 		s.budget[i] = inst.Sensors[i].Budget
 	}
 	complete := s.dfs(0, 0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	alloc := inst.NewAllocation()
 	if s.bestSet != nil {
@@ -183,10 +200,14 @@ func (s *solver) awareBound(j int) float64 {
 }
 
 // dfs explores slot j with accumulated profit; returns false when the node
-// budget is exhausted (result may be suboptimal).
+// budget is exhausted or the context is canceled (result may be
+// suboptimal).
 func (s *solver) dfs(j int, profit float64) bool {
 	s.nodes++
 	if s.nodes > s.maxNodes {
+		return false
+	}
+	if s.nodes%ctxCheckNodes == 0 && s.ctx.Err() != nil {
 		return false
 	}
 	if profit > s.best {

@@ -13,6 +13,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -22,9 +23,9 @@ import (
 	"mobisink/internal/core"
 	"mobisink/internal/energy"
 	"mobisink/internal/network"
-	"mobisink/internal/online"
 	"mobisink/internal/parallel"
 	"mobisink/internal/radio"
+	"mobisink/internal/solve"
 	"mobisink/internal/stats"
 )
 
@@ -113,7 +114,8 @@ func (s Setting) String() string {
 	return fmt.Sprintf("rs=%gm/s,tau=%gs", s.Speed, s.Tau)
 }
 
-// Algorithm names (matching the paper).
+// Algorithm names (matching the paper). These are the canonical names of
+// the internal/solve registry, which dispatches every run.
 const (
 	AlgOfflineAppro    = "Offline_Appro"
 	AlgOnlineAppro     = "Online_Appro"
@@ -122,53 +124,24 @@ const (
 	AlgOnlineGreedy    = "Online_Greedy"
 )
 
-// runAlgorithm dispatches by algorithm name; returns collected bits.
-// Every run feeds the solver-runtime and collected-data histograms on
-// the default metrics registry.
+// runAlgorithm dispatches through the solver registry; returns collected
+// bits. Successful runs feed the solver-runtime and collected-data
+// histograms on the default metrics registry, failed runs the
+// per-algorithm error counter; all labels derive from Solver.Name(), so
+// metric cardinality is bounded by the registry.
 func runAlgorithm(name string, inst *core.Instance) (float64, error) {
-	start := time.Now()
-	bits, err := runAlgorithmUntimed(name, inst)
-	if err == nil {
-		observeRun(name, bits, time.Since(start))
-	}
-	return bits, err
-}
-
-func runAlgorithmUntimed(name string, inst *core.Instance) (float64, error) {
-	switch name {
-	case AlgOfflineAppro:
-		a, err := core.OfflineAppro(inst, core.Options{})
-		if err != nil {
-			return 0, err
-		}
-		return a.Data, nil
-	case AlgOfflineMaxMatch:
-		a, err := core.OfflineMaxMatch(inst)
-		if err != nil {
-			return 0, err
-		}
-		return a.Data, nil
-	case AlgOnlineAppro:
-		r, err := online.Run(inst, &online.Appro{})
-		if err != nil {
-			return 0, err
-		}
-		return r.Data, nil
-	case AlgOnlineMaxMatch:
-		r, err := online.Run(inst, &online.MaxMatch{})
-		if err != nil {
-			return 0, err
-		}
-		return r.Data, nil
-	case AlgOnlineGreedy:
-		r, err := online.Run(inst, &online.Greedy{})
-		if err != nil {
-			return 0, err
-		}
-		return r.Data, nil
-	default:
+	s, err := solve.New(name, solve.Options{})
+	if err != nil {
 		return 0, fmt.Errorf("exp: unknown algorithm %q", name)
 	}
+	start := time.Now()
+	alloc, err := s.Solve(context.Background(), inst)
+	if err != nil {
+		solverErrors.With(s.Name()).Inc()
+		return 0, err
+	}
+	observeRun(s.Name(), alloc.Data, time.Since(start))
+	return alloc.Data, nil
 }
 
 // Point is one aggregated data point of a figure.

@@ -20,6 +20,8 @@ var (
 		metrics.ExpBuckets(0.25, 2, 12), "algorithm")
 	trialsRun = metrics.Default().Counter("exp_trials_total",
 		"Experiment trials completed (one topology, all cell algorithms).")
+	solverErrors = metrics.Default().CounterVec("exp_solver_errors_total",
+		"Failed algorithm runs, by algorithm.", "algorithm")
 )
 
 // observeRun records one algorithm execution into the histograms.

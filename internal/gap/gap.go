@@ -14,6 +14,7 @@
 package gap
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -141,52 +142,10 @@ func LocalRatioBins(inst *Instance, solve BinSolver) (*Assignment, error) {
 	if solve == nil {
 		return nil, errors.New("gap: nil bin solver")
 	}
-	if err := inst.Validate(); err != nil {
-		return nil, err
-	}
-	// lastClaim[j] is the original profit of (l, j) for the most recent bin
-	// l whose knapsack selected item j; the residual profit of (i, j) is
-	// orig(i, j) − lastClaim[j]. This implements the paper's decomposition
-	// D^{(l+1)} / T^{(l+1)} without materializing the n×T matrices.
-	lastClaim := make([]float64, inst.NumItems)
-	lastBin := make([]int, inst.NumItems)
-	for i := range lastBin {
-		lastBin[i] = -1
-	}
-
-	items := make([]knapsack.Item, 0, 64)
-	itemIdx := make([]int, 0, 64)
-	for b, bin := range inst.Bins {
-		items = items[:0]
-		itemIdx = itemIdx[:0]
-		for _, e := range bin.Entries {
-			residual := e.Profit - lastClaim[e.Item]
-			if residual <= 0 {
-				continue // the knapsack would never take it
-			}
-			items = append(items, knapsack.Item{Profit: residual, Weight: e.Weight})
-			itemIdx = append(itemIdx, e.Item)
-		}
-		sol := solve(b, items, bin.Capacity)
-		for _, k := range sol.Picked {
-			j := itemIdx[k]
-			e, _ := findEntry(bin.Entries, j)
-			lastClaim[j] = e.Profit
-			lastBin[j] = b
-		}
-	}
-
-	// Final pass (paper Algorithm 1 lines 9-12): S_l = S̄_l \ ∪_{j>l} S̄_j,
-	// i.e. each item belongs to the last bin that selected it — which is
-	// exactly lastBin.
-	a := &Assignment{ItemBin: lastBin}
-	for j, b := range lastBin {
-		if b >= 0 {
-			e, _ := findEntry(inst.Bins[b].Entries, j)
-			a.Profit += e.Profit
-		}
-	}
-	return a, nil
+	return LocalRatioBinsCtx(context.Background(), inst,
+		func(_ context.Context, bin int, items []knapsack.Item, capacity float64) (knapsack.Solution, error) {
+			return solve(bin, items, capacity), nil
+		})
 }
 
 // Greedy is a simple baseline: consider all (bin, item) entries in

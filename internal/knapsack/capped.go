@@ -1,6 +1,6 @@
 package knapsack
 
-import "math"
+import "context"
 
 // MaxProfitUnder solves the doubly-constrained 0/1 knapsack: maximize total
 // profit subject to total weight ≤ capacity AND total profit ≤ profitCap.
@@ -17,71 +17,8 @@ import "math"
 // exact. The weight dimension is handled exactly via minimum-weight DP per
 // quantized profit.
 func MaxProfitUnder(items []Item, capacity, profitCap, profitQuantum float64) Solution {
-	if profitCap <= 0 {
-		return Solution{}
-	}
-	if profitQuantum <= 0 {
-		profitQuantum = 1
-	}
-	idxs := make([]int, 0, len(items))
-	for i, it := range items {
-		if usable(it, capacity) && it.Profit >= profitQuantum {
-			idxs = append(idxs, i)
-		}
-	}
-	if len(idxs) == 0 {
-		return Solution{}
-	}
-	sumQ := 0
-	scaled := make([]int, len(idxs))
-	for k, i := range idxs {
-		scaled[k] = int(math.Ceil(items[i].Profit/profitQuantum - 1e-9))
-		sumQ += scaled[k]
-	}
-	// Quantize the cap without overflowing int for huge/infinite caps.
-	capQ := sumQ
-	if ratio := profitCap / profitQuantum; ratio < float64(sumQ) {
-		capQ = int(math.Floor(ratio + 1e-9))
-	}
-	if capQ <= 0 {
-		return Solution{}
-	}
-	const inf = math.MaxFloat64
-	// minW[q] = minimum weight achieving quantized profit exactly q.
-	minW := make([]float64, capQ+1)
-	for q := 1; q <= capQ; q++ {
-		minW[q] = inf
-	}
-	rows := make([][]bool, len(idxs))
-	for k, i := range idxs {
-		row := make([]bool, capQ+1)
-		w := items[i].Weight
-		for q := capQ; q >= scaled[k]; q-- {
-			if prev := minW[q-scaled[k]]; prev < inf {
-				if cand := prev + w; cand < minW[q] {
-					minW[q] = cand
-					row[q] = true
-				}
-			}
-		}
-		rows[k] = row
-	}
-	bestQ := 0
-	for q := capQ; q > 0; q-- {
-		if minW[q] <= capacity {
-			bestQ = q
-			break
-		}
-	}
-	var picked []int
-	q := bestQ
-	for k := len(idxs) - 1; k >= 0 && q > 0; k-- {
-		if rows[k][q] {
-			picked = append(picked, idxs[k])
-			q -= scaled[k]
-		}
-	}
-	return finish(items, picked)
+	s, _ := MaxProfitUnderCtx(context.Background(), items, capacity, profitCap, profitQuantum)
+	return s
 }
 
 // CappedSolver returns a Solver-compatible closure over fixed profit cap

@@ -1,0 +1,403 @@
+package knapsack
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+)
+
+// SolverCtx is a context-aware Solver: implementations poll ctx at coarse
+// checkpoints (per DP item layer, every few thousand search nodes) and
+// return ctx.Err() as soon as it is non-nil, so a canceled job stops
+// burning its worker mid-solve instead of running to completion.
+type SolverCtx func(ctx context.Context, items []Item, capacity float64) (Solution, error)
+
+// Ctx adapts a plain Solver into a SolverCtx: the context is checked once
+// up front (the plain solver cannot be interrupted mid-run).
+func (s Solver) Ctx() SolverCtx {
+	return func(ctx context.Context, items []Item, capacity float64) (Solution, error) {
+		if err := ctx.Err(); err != nil {
+			return Solution{}, err
+		}
+		return s(items, capacity), nil
+	}
+}
+
+// nodeCheckInterval is how many branch-and-bound nodes are expanded
+// between context polls; DP solvers poll once per item layer instead.
+const nodeCheckInterval = 4096
+
+// scratch is a reusable arena for DP tables: one float64 row and one flat
+// bool choice matrix. Pooled via scratchPool so the serving path does not
+// reallocate per request.
+type scratch struct {
+	f []float64
+	b []bool
+}
+
+// scratchMax bounds how large a buffer is returned to the pool; oversized
+// tables from a one-off huge instance are dropped instead of pinned.
+const scratchMax = 1 << 22
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch { return scratchPool.Get().(*scratch) }
+
+func putScratch(s *scratch) {
+	if cap(s.f) > scratchMax {
+		s.f = nil
+	}
+	if cap(s.b) > scratchMax {
+		s.b = nil
+	}
+	scratchPool.Put(s)
+}
+
+// floats returns a zeroed float64 slice of length n backed by the arena.
+func (s *scratch) floats(n int) []float64 {
+	if cap(s.f) < n {
+		s.f = make([]float64, n)
+	}
+	f := s.f[:n]
+	for i := range f {
+		f[i] = 0
+	}
+	return f
+}
+
+// bools returns a cleared bool slice of length n backed by the arena.
+func (s *scratch) bools(n int) []bool {
+	if cap(s.b) < n {
+		s.b = make([]bool, n)
+	}
+	b := s.b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// DPCtx is DP with cancellation: the context is polled once per item layer
+// and ctx.Err() is returned on expiry. The DP table and choice matrix come
+// from a shared sync.Pool arena.
+func DPCtx(ctx context.Context, items []Item, capacity float64, quantum float64) (Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return Solution{}, err
+	}
+	if quantum <= 0 {
+		quantum = 1e-6
+	}
+	capQ := int(math.Floor(capacity / quantum))
+	if capQ < 0 {
+		return Solution{}, nil
+	}
+	type qItem struct {
+		idx int
+		w   int
+		p   float64
+	}
+	var qItems []qItem
+	var free []int // zero-weight items are always packed
+	sumQ := 0
+	for i, it := range items {
+		if !usable(it, capacity) {
+			continue
+		}
+		w := int(math.Ceil(it.Weight/quantum - 1e-9))
+		if w == 0 {
+			free = append(free, i)
+			continue
+		}
+		if w > capQ {
+			continue
+		}
+		qItems = append(qItems, qItem{i, w, it.Profit})
+		sumQ += w
+	}
+	// The DP table never needs more capacity than all usable items weigh
+	// in quantized units — this keeps the table small when the stored
+	// energy budget far exceeds what a visibility window can spend.
+	if capQ > sumQ {
+		capQ = sumQ
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	width := capQ + 1
+	dp := sc.floats(width)
+	pick := sc.bools(len(qItems) * width) // row k is pick[k*width : (k+1)*width]
+	for k, qi := range qItems {
+		if err := ctx.Err(); err != nil {
+			return Solution{}, err
+		}
+		row := pick[k*width : (k+1)*width]
+		for w := capQ; w >= qi.w; w-- {
+			if cand := dp[w-qi.w] + qi.p; cand > dp[w] {
+				dp[w] = cand
+				row[w] = true
+			}
+		}
+	}
+	// Trace back.
+	w := capQ
+	var picked []int
+	for k := len(qItems) - 1; k >= 0; k-- {
+		if pick[k*width+w] {
+			picked = append(picked, qItems[k].idx)
+			w -= qItems[k].w
+		}
+	}
+	picked = append(picked, free...)
+	return finish(items, picked), nil
+}
+
+// BranchAndBoundCtx is BranchAndBound with cancellation: the context is
+// polled every nodeCheckInterval search nodes.
+func BranchAndBoundCtx(ctx context.Context, items []Item, capacity float64) (Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return Solution{}, err
+	}
+	order := make([]int, 0, len(items))
+	for i, it := range items {
+		if usable(it, capacity) {
+			order = append(order, i)
+		}
+	}
+	if len(order) == 0 {
+		return Solution{}, nil
+	}
+	sortByDensity(items, order)
+
+	// fracBound returns the LP relaxation value of packing order[k:] into
+	// the remaining capacity.
+	fracBound := func(k int, left float64) float64 {
+		bound := 0.0
+		for _, oi := range order[k:] {
+			it := items[oi]
+			if it.Weight <= left {
+				bound += it.Profit
+				left -= it.Weight
+			} else {
+				if it.Weight > 0 {
+					bound += it.Profit * left / it.Weight
+				}
+				break
+			}
+		}
+		return bound
+	}
+
+	bestProfit := -1.0
+	var bestSet []int
+	cur := make([]int, 0, len(order))
+	nodes := 0
+	canceled := false
+
+	var dfs func(k int, left, profit float64)
+	dfs = func(k int, left, profit float64) {
+		if canceled {
+			return
+		}
+		nodes++
+		if nodes%nodeCheckInterval == 0 && ctx.Err() != nil {
+			canceled = true
+			return
+		}
+		if profit > bestProfit {
+			bestProfit = profit
+			bestSet = append(bestSet[:0], cur...)
+		}
+		if k == len(order) {
+			return
+		}
+		if profit+fracBound(k, left)+1e-12 <= bestProfit {
+			return // cannot beat the incumbent
+		}
+		it := items[order[k]]
+		if it.Weight <= left {
+			cur = append(cur, order[k])
+			dfs(k+1, left-it.Weight, profit+it.Profit)
+			cur = cur[:len(cur)-1]
+		}
+		dfs(k+1, left, profit)
+	}
+	dfs(0, capacity, 0)
+	if canceled {
+		return Solution{}, context.Cause(ctx)
+	}
+	return finish(items, append([]int(nil), bestSet...)), nil
+}
+
+// sortByDensity orders item indices by decreasing profit/weight density
+// with index tie-breaks (shared by BranchAndBound and its ctx variant).
+func sortByDensity(items []Item, order []int) {
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := items[order[a]], items[order[b]]
+		da, db := math.Inf(1), math.Inf(1)
+		if ia.Weight > 0 {
+			da = ia.Profit / ia.Weight
+		}
+		if ib.Weight > 0 {
+			db = ib.Profit / ib.Weight
+		}
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+}
+
+// FPTASCtx returns a SolverCtx with the same (1−ε)·OPT guarantee as FPTAS,
+// polling the context once per item layer of the profit-scaling DP and
+// drawing its tables from the shared scratch pool.
+func FPTASCtx(eps float64) SolverCtx {
+	if eps <= 0 || eps >= 1 {
+		panic("knapsack: FPTAS epsilon must be in (0,1)")
+	}
+	return func(ctx context.Context, items []Item, capacity float64) (Solution, error) {
+		if err := ctx.Err(); err != nil {
+			return Solution{}, err
+		}
+		idxs := make([]int, 0, len(items))
+		pmax := 0.0
+		for i, it := range items {
+			if usable(it, capacity) {
+				idxs = append(idxs, i)
+				if it.Profit > pmax {
+					pmax = it.Profit
+				}
+			}
+		}
+		if len(idxs) == 0 {
+			return Solution{}, nil
+		}
+		n := len(idxs)
+		k := eps * pmax / float64(n)
+		// Scaled profits; each ≤ n/ε.
+		scaled := make([]int, n)
+		maxTotal := 0
+		for j, i := range idxs {
+			scaled[j] = int(math.Floor(items[i].Profit / k))
+			maxTotal += scaled[j]
+		}
+		const inf = math.MaxFloat64
+		sc := getScratch()
+		defer putScratch(sc)
+		width := maxTotal + 1
+		// minW[q] = minimal weight achieving scaled profit exactly q.
+		minW := sc.floats(width)
+		choice := sc.bools(n * width) // row j is choice[j*width : (j+1)*width]
+		for q := 1; q <= maxTotal; q++ {
+			minW[q] = inf
+		}
+		for j, i := range idxs {
+			if err := ctx.Err(); err != nil {
+				return Solution{}, err
+			}
+			row := choice[j*width : (j+1)*width]
+			w := items[i].Weight
+			for q := maxTotal; q >= scaled[j]; q-- {
+				if minW[q-scaled[j]] < inf {
+					if cand := minW[q-scaled[j]] + w; cand < minW[q] {
+						minW[q] = cand
+						row[q] = true
+					}
+				}
+			}
+		}
+		bestQ := 0
+		for q := maxTotal; q > 0; q-- {
+			if minW[q] <= capacity {
+				bestQ = q
+				break
+			}
+		}
+		var picked []int
+		q := bestQ
+		for j := n - 1; j >= 0 && q > 0; j-- {
+			if choice[j*width+q] {
+				picked = append(picked, idxs[j])
+				q -= scaled[j]
+			}
+		}
+		return finish(items, picked), nil
+	}
+}
+
+// MaxProfitUnderCtx is MaxProfitUnder with cancellation, polled once per
+// item layer of the minimum-weight DP.
+func MaxProfitUnderCtx(ctx context.Context, items []Item, capacity, profitCap, profitQuantum float64) (Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return Solution{}, err
+	}
+	if profitCap <= 0 {
+		return Solution{}, nil
+	}
+	if profitQuantum <= 0 {
+		profitQuantum = 1
+	}
+	idxs := make([]int, 0, len(items))
+	for i, it := range items {
+		if usable(it, capacity) && it.Profit >= profitQuantum {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return Solution{}, nil
+	}
+	sumQ := 0
+	scaled := make([]int, len(idxs))
+	for k, i := range idxs {
+		scaled[k] = int(math.Ceil(items[i].Profit/profitQuantum - 1e-9))
+		sumQ += scaled[k]
+	}
+	// Quantize the cap without overflowing int for huge/infinite caps.
+	capQ := sumQ
+	if ratio := profitCap / profitQuantum; ratio < float64(sumQ) {
+		capQ = int(math.Floor(ratio + 1e-9))
+	}
+	if capQ <= 0 {
+		return Solution{}, nil
+	}
+	const inf = math.MaxFloat64
+	sc := getScratch()
+	defer putScratch(sc)
+	width := capQ + 1
+	// minW[q] = minimum weight achieving quantized profit exactly q.
+	minW := sc.floats(width)
+	rows := sc.bools(len(idxs) * width)
+	for q := 1; q <= capQ; q++ {
+		minW[q] = inf
+	}
+	for k, i := range idxs {
+		if err := ctx.Err(); err != nil {
+			return Solution{}, err
+		}
+		row := rows[k*width : (k+1)*width]
+		w := items[i].Weight
+		for q := capQ; q >= scaled[k]; q-- {
+			if prev := minW[q-scaled[k]]; prev < inf {
+				if cand := prev + w; cand < minW[q] {
+					minW[q] = cand
+					row[q] = true
+				}
+			}
+		}
+	}
+	bestQ := 0
+	for q := capQ; q > 0; q-- {
+		if minW[q] <= capacity {
+			bestQ = q
+			break
+		}
+	}
+	var picked []int
+	q := bestQ
+	for k := len(idxs) - 1; k >= 0 && q > 0; k-- {
+		if rows[k*width+q] {
+			picked = append(picked, idxs[k])
+			q -= scaled[k]
+		}
+	}
+	return finish(items, picked), nil
+}

@@ -18,6 +18,7 @@
 package knapsack
 
 import (
+	"context"
 	"math"
 	"sort"
 )
@@ -105,75 +106,8 @@ func Greedy(items []Item, capacity float64) Solution {
 // BranchAndBound solves the knapsack exactly by depth-first search over
 // density-sorted items with a fractional (LP relaxation) upper bound.
 func BranchAndBound(items []Item, capacity float64) Solution {
-	order := make([]int, 0, len(items))
-	for i, it := range items {
-		if usable(it, capacity) {
-			order = append(order, i)
-		}
-	}
-	if len(order) == 0 {
-		return Solution{}
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ia, ib := items[order[a]], items[order[b]]
-		da, db := math.Inf(1), math.Inf(1)
-		if ia.Weight > 0 {
-			da = ia.Profit / ia.Weight
-		}
-		if ib.Weight > 0 {
-			db = ib.Profit / ib.Weight
-		}
-		if da != db {
-			return da > db
-		}
-		return order[a] < order[b]
-	})
-
-	// fracBound returns the LP relaxation value of packing order[k:] into
-	// the remaining capacity.
-	fracBound := func(k int, left float64) float64 {
-		bound := 0.0
-		for _, oi := range order[k:] {
-			it := items[oi]
-			if it.Weight <= left {
-				bound += it.Profit
-				left -= it.Weight
-			} else {
-				if it.Weight > 0 {
-					bound += it.Profit * left / it.Weight
-				}
-				break
-			}
-		}
-		return bound
-	}
-
-	bestProfit := -1.0
-	var bestSet []int
-	cur := make([]int, 0, len(order))
-
-	var dfs func(k int, left, profit float64)
-	dfs = func(k int, left, profit float64) {
-		if profit > bestProfit {
-			bestProfit = profit
-			bestSet = append(bestSet[:0], cur...)
-		}
-		if k == len(order) {
-			return
-		}
-		if profit+fracBound(k, left)+1e-12 <= bestProfit {
-			return // cannot beat the incumbent
-		}
-		it := items[order[k]]
-		if it.Weight <= left {
-			cur = append(cur, order[k])
-			dfs(k+1, left-it.Weight, profit+it.Profit)
-			cur = cur[:len(cur)-1]
-		}
-		dfs(k+1, left, profit)
-	}
-	dfs(0, capacity, 0)
-	return finish(items, append([]int(nil), bestSet...))
+	s, _ := BranchAndBoundCtx(context.Background(), items, capacity)
+	return s
 }
 
 // DP solves the knapsack exactly after quantizing weights to multiples of
@@ -182,68 +116,8 @@ func BranchAndBound(items []Item, capacity float64) Solution {
 // weights the result is exact; it is always feasible. Memory is
 // O(capacity/quantum) integers.
 func DP(items []Item, capacity float64, quantum float64) Solution {
-	if quantum <= 0 {
-		quantum = 1e-6
-	}
-	capQ := int(math.Floor(capacity / quantum))
-	if capQ < 0 {
-		return Solution{}
-	}
-	type qItem struct {
-		idx int
-		w   int
-		p   float64
-	}
-	var qItems []qItem
-	var free []int // zero-weight items are always packed
-	sumQ := 0
-	for i, it := range items {
-		if !usable(it, capacity) {
-			continue
-		}
-		w := int(math.Ceil(it.Weight/quantum - 1e-9))
-		if w == 0 {
-			free = append(free, i)
-			continue
-		}
-		if w > capQ {
-			continue
-		}
-		qItems = append(qItems, qItem{i, w, it.Profit})
-		sumQ += w
-	}
-	// The DP table never needs more capacity than all usable items weigh
-	// in quantized units — this keeps the table small when the stored
-	// energy budget far exceeds what a visibility window can spend.
-	if capQ > sumQ {
-		capQ = sumQ
-	}
-	// dp[w] = best profit using weight exactly ≤ w; choice tracking via
-	// parent bitset per item layer would cost O(n·W) memory, so store the
-	// picked-set via a compact predecessor table.
-	dp := make([]float64, capQ+1)
-	pick := make([][]bool, len(qItems))
-	for k, qi := range qItems {
-		row := make([]bool, capQ+1)
-		for w := capQ; w >= qi.w; w-- {
-			if cand := dp[w-qi.w] + qi.p; cand > dp[w] {
-				dp[w] = cand
-				row[w] = true
-			}
-		}
-		pick[k] = row
-	}
-	// Trace back.
-	w := capQ
-	var picked []int
-	for k := len(qItems) - 1; k >= 0; k-- {
-		if pick[k][w] {
-			picked = append(picked, qItems[k].idx)
-			w -= qItems[k].w
-		}
-	}
-	picked = append(picked, free...)
-	return finish(items, picked)
+	s, _ := DPCtx(context.Background(), items, capacity, quantum)
+	return s
 }
 
 // FPTAS returns a solver with profit guarantee ≥ (1−ε)·OPT using Lawler's
@@ -251,67 +125,9 @@ func DP(items []Item, capacity float64, quantum float64) Solution {
 // DP minimizes weight per scaled-profit total. Runtime O(n²·⌈n/ε⌉) in the
 // worst case, tiny for the per-sensor instances here.
 func FPTAS(eps float64) Solver {
-	if eps <= 0 || eps >= 1 {
-		panic("knapsack: FPTAS epsilon must be in (0,1)")
-	}
+	ctxSolve := FPTASCtx(eps)
 	return func(items []Item, capacity float64) Solution {
-		idxs := make([]int, 0, len(items))
-		pmax := 0.0
-		for i, it := range items {
-			if usable(it, capacity) {
-				idxs = append(idxs, i)
-				if it.Profit > pmax {
-					pmax = it.Profit
-				}
-			}
-		}
-		if len(idxs) == 0 {
-			return Solution{}
-		}
-		n := len(idxs)
-		k := eps * pmax / float64(n)
-		// Scaled profits; each ≤ n/ε.
-		scaled := make([]int, n)
-		maxTotal := 0
-		for j, i := range idxs {
-			scaled[j] = int(math.Floor(items[i].Profit / k))
-			maxTotal += scaled[j]
-		}
-		const inf = math.MaxFloat64
-		// minW[q] = minimal weight achieving scaled profit exactly q.
-		minW := make([]float64, maxTotal+1)
-		choice := make([][]bool, n)
-		for q := 1; q <= maxTotal; q++ {
-			minW[q] = inf
-		}
-		for j, i := range idxs {
-			row := make([]bool, maxTotal+1)
-			w := items[i].Weight
-			for q := maxTotal; q >= scaled[j]; q-- {
-				if minW[q-scaled[j]] < inf {
-					if cand := minW[q-scaled[j]] + w; cand < minW[q] {
-						minW[q] = cand
-						row[q] = true
-					}
-				}
-			}
-			choice[j] = row
-		}
-		bestQ := 0
-		for q := maxTotal; q > 0; q-- {
-			if minW[q] <= capacity {
-				bestQ = q
-				break
-			}
-		}
-		var picked []int
-		q := bestQ
-		for j := n - 1; j >= 0 && q > 0; j-- {
-			if choice[j][q] {
-				picked = append(picked, idxs[j])
-				q -= scaled[j]
-			}
-		}
-		return finish(items, picked)
+		s, _ := ctxSolve(context.Background(), items, capacity)
+		return s
 	}
 }

@@ -13,6 +13,7 @@
 package matching
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -79,6 +80,14 @@ type Result struct {
 // via successive shortest augmenting paths. Runtime O(F·(E log V)) where F
 // is the matching size.
 func (g *Graph) MaxWeight() *Result {
+	res, _ := g.MaxWeightCtx(context.Background())
+	return res
+}
+
+// MaxWeightCtx is MaxWeight with cancellation: the context is polled once
+// per augmenting path (each augmentation is one Dijkstra pass, the natural
+// checkpoint granularity), returning ctx.Err() when the context is done.
+func (g *Graph) MaxWeightCtx(ctx context.Context) (*Result, error) {
 	// Flow network node ids: 0 = source, 1..nL = left, nL+1..nL+nR = right,
 	// nL+nR+1 = sink.
 	n := g.nL + g.nR + 2
@@ -97,7 +106,9 @@ func (g *Graph) MaxWeight() *Result {
 	for r := 0; r < g.nR; r++ {
 		f.addArc(1+g.nL+r, snk, 1, 0)
 	}
-	f.solve(src, snk)
+	if err := f.solve(ctx, src, snk); err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		RightMatch: make([]int, g.nR),
@@ -118,7 +129,7 @@ func (g *Graph) MaxWeight() *Result {
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // flow is a small min-cost max-flow solver with float64 costs, successive
@@ -229,8 +240,9 @@ func (f *flow) initPotentials(src int) {
 }
 
 // solve augments along minimum-cost paths while the path cost is negative
-// (every augmentation increases matched weight).
-func (f *flow) solve(src, snk int) {
+// (every augmentation increases matched weight). The context is polled
+// once per augmentation.
+func (f *flow) solve(ctx context.Context, src, snk int) error {
 	f.initPotentials(src)
 	n := len(f.adj)
 	dist := make([]float64, n)
@@ -238,6 +250,9 @@ func (f *flow) solve(src, snk int) {
 	done := make([]bool, n)
 	var q pq
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for i := range dist {
 			dist[i] = math.Inf(1)
 			prevArc[i] = -1
@@ -273,12 +288,12 @@ func (f *flow) solve(src, snk int) {
 			}
 		}
 		if math.IsInf(dist[snk], 1) {
-			return // no augmenting path at all
+			return nil // no augmenting path at all
 		}
 		// True path cost = dist + pot difference.
 		pathCost := dist[snk] + f.pot[snk] - f.pot[src]
 		if pathCost >= -eps {
-			return // augmenting further would not increase weight
+			return nil // augmenting further would not increase weight
 		}
 		// Update potentials; unsettled nodes clamp at dist[snk], which
 		// keeps all reduced costs non-negative after early termination.

@@ -20,6 +20,7 @@
 package online
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -55,10 +56,12 @@ type Interval struct {
 
 // Scheduler allocates one interval's slots among the registered sensors.
 // Implementations must respect each registration's residual budget and
-// clipped window. The returned map is slot → sensor index.
+// clipped window, and should poll ctx inside long computations so a
+// canceled tour aborts mid-interval. The returned map is
+// slot → sensor index.
 type Scheduler interface {
 	Name() string
-	Schedule(inst *core.Instance, iv Interval, regs []Registration) (map[int]int, error)
+	Schedule(ctx context.Context, inst *core.Instance, iv Interval, regs []Registration) (map[int]int, error)
 }
 
 // MessageStats counts protocol messages per tour.
@@ -118,11 +121,18 @@ type Options struct {
 // given scheduler, driving all message exchanges through a discrete-event
 // engine, under the paper's idealized registration (no Ack contention).
 func Run(inst *core.Instance, sched Scheduler) (*Result, error) {
-	return RunOpts(inst, sched, Options{})
+	return RunCtx(context.Background(), inst, sched, Options{})
 }
 
 // RunOpts is Run with protocol options.
 func RunOpts(inst *core.Instance, sched Scheduler, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), inst, sched, opts)
+}
+
+// RunCtx is RunOpts with cancellation: the context is polled at every
+// interval boundary and threaded into the scheduler, so a canceled job
+// stops between (or inside) intervals instead of finishing the tour.
+func RunCtx(ctx context.Context, inst *core.Instance, sched Scheduler, opts Options) (*Result, error) {
 	if inst == nil {
 		return nil, errors.New("online: nil instance")
 	}
@@ -169,7 +179,10 @@ func RunOpts(inst *core.Instance, sched Scheduler, opts Options) (*Result, error
 			if schedErr != nil {
 				return
 			}
-			schedErr = runInterval(eng, inst, sched, iv, res, opts, contention)
+			if schedErr = ctx.Err(); schedErr != nil {
+				return
+			}
+			schedErr = runInterval(ctx, eng, inst, sched, iv, res, opts, contention)
 		})
 		if err != nil {
 			return nil, err
@@ -195,7 +208,7 @@ func RunOpts(inst *core.Instance, sched Scheduler, opts Options) (*Result, error
 
 // runInterval executes the probe → ack → schedule → transmit → finish cycle
 // of one interval.
-func runInterval(eng *sim.Engine, inst *core.Instance, sched Scheduler, iv Interval, res *Result, opts Options, contention *rand.Rand) error {
+func runInterval(ctx context.Context, eng *sim.Engine, inst *core.Instance, sched Scheduler, iv Interval, res *Result, opts Options, contention *rand.Rand) error {
 	eng.Count("probe", 1)
 	sinkPos := inst.Traj.PosAtSlotStart(iv.Start)
 
@@ -247,7 +260,7 @@ func runInterval(eng *sim.Engine, inst *core.Instance, sched Scheduler, iv Inter
 	}
 
 	// Registration timer expiry: run the scheduler, broadcast the result.
-	assign, err := sched.Schedule(inst, iv, regs)
+	assign, err := sched.Schedule(ctx, inst, iv, regs)
 	if err != nil {
 		return fmt.Errorf("online: interval %d: %w", iv.Index, err)
 	}
@@ -318,7 +331,7 @@ type Appro struct {
 func (a *Appro) Name() string { return "Online_Appro" }
 
 // Schedule implements Scheduler.
-func (a *Appro) Schedule(inst *core.Instance, iv Interval, regs []Registration) (map[int]int, error) {
+func (a *Appro) Schedule(ctx context.Context, inst *core.Instance, iv Interval, regs []Registration) (map[int]int, error) {
 	// Order registered sensors by (clipped start, clipped end) — the same
 	// ordering rule as offline.
 	order := make([]int, len(regs))
@@ -353,7 +366,7 @@ func (a *Appro) Schedule(inst *core.Instance, iv Interval, regs []Registration) 
 		}
 		g.Bins[b] = bin
 	}
-	asg, err := gap.LocalRatio(g, a.solver(inst))
+	asg, err := gap.LocalRatioCtx(ctx, g, a.solver(inst))
 	if err != nil {
 		return nil, err
 	}
@@ -366,8 +379,8 @@ func (a *Appro) Schedule(inst *core.Instance, iv Interval, regs []Registration) 
 	return assign, nil
 }
 
-func (a *Appro) solver(inst *core.Instance) knapsack.Solver {
-	return a.Opts.Solver(inst)
+func (a *Appro) solver(inst *core.Instance) knapsack.SolverCtx {
+	return a.Opts.SolverCtx(inst)
 }
 
 // MaxMatch is the matching-based scheduler for the fixed-power special case
@@ -387,7 +400,7 @@ type MaxMatch struct {
 func (m *MaxMatch) Name() string { return "Online_MaxMatch" }
 
 // Schedule implements Scheduler.
-func (m *MaxMatch) Schedule(inst *core.Instance, iv Interval, regs []Registration) (map[int]int, error) {
+func (m *MaxMatch) Schedule(ctx context.Context, inst *core.Instance, iv Interval, regs []Registration) (map[int]int, error) {
 	pFixed, ok := inst.FixedTxPower()
 	if !ok {
 		return nil, errors.New("MaxMatch scheduler requires a fixed transmission power instance")
@@ -395,6 +408,9 @@ func (m *MaxMatch) Schedule(inst *core.Instance, iv Interval, regs []Registratio
 	perSlot := pFixed * inst.Tau
 	width := iv.End - iv.Start + 1
 	if m.UseHungarian {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return m.scheduleHungarian(inst, iv, regs, perSlot, width)
 	}
 	g, err := matching.NewGraph(len(regs), width)
@@ -424,7 +440,10 @@ func (m *MaxMatch) Schedule(inst *core.Instance, iv Interval, regs []Registratio
 			}
 		}
 	}
-	match := g.MaxWeight()
+	match, err := g.MaxWeightCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	assign := make(map[int]int)
 	for rSlot, k := range match.RightMatch {
 		if k >= 0 {
@@ -482,7 +501,10 @@ type Greedy struct{}
 func (g *Greedy) Name() string { return "Online_Greedy" }
 
 // Schedule implements Scheduler.
-func (g *Greedy) Schedule(inst *core.Instance, iv Interval, regs []Registration) (map[int]int, error) {
+func (g *Greedy) Schedule(ctx context.Context, inst *core.Instance, iv Interval, regs []Registration) (map[int]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	width := iv.End - iv.Start + 1
 	gi := &gap.Instance{NumItems: width}
 	gi.Bins = make([]gap.Bin, len(regs))

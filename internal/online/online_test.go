@@ -1,6 +1,7 @@
 package online
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -218,7 +219,7 @@ type misbehavingScheduler struct{}
 
 func (m *misbehavingScheduler) Name() string { return "bad" }
 
-func (m *misbehavingScheduler) Schedule(inst *core.Instance, iv Interval, regs []Registration) (map[int]int, error) {
+func (m *misbehavingScheduler) Schedule(_ context.Context, inst *core.Instance, iv Interval, regs []Registration) (map[int]int, error) {
 	// Pick a sensor index guaranteed not registered in this interval.
 	reg := make(map[int]bool)
 	for _, r := range regs {

@@ -1,6 +1,7 @@
 package online
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -25,7 +26,7 @@ func (s *Sequential) Name() string { return "Online_Sequential" }
 func (s *Sequential) CapAware() bool { return true }
 
 // Schedule implements Scheduler.
-func (s *Sequential) Schedule(inst *core.Instance, iv Interval, regs []Registration) (map[int]int, error) {
+func (s *Sequential) Schedule(ctx context.Context, inst *core.Instance, iv Interval, regs []Registration) (map[int]int, error) {
 	order := make([]int, len(regs))
 	for k := range order {
 		order[k] = k
@@ -41,7 +42,7 @@ func (s *Sequential) Schedule(inst *core.Instance, iv Interval, regs []Registrat
 		return rx.Sensor < ry.Sensor
 	})
 	assign := make(map[int]int)
-	solve := s.Opts.Solver(inst)
+	solve := s.Opts.SolverCtx(inst)
 	quantum := inst.RateQuantumBits()
 	var items []knapsack.Item
 	var slots []int
@@ -62,10 +63,14 @@ func (s *Sequential) Schedule(inst *core.Instance, iv Interval, regs []Registrat
 			slots = append(slots, j)
 		}
 		var sol knapsack.Solution
+		var err error
 		if math.IsInf(r.DataLeft, 1) {
-			sol = solve(items, r.Budget)
+			sol, err = solve(ctx, items, r.Budget)
 		} else {
-			sol = knapsack.MaxProfitUnder(items, r.Budget, r.DataLeft, quantum)
+			sol, err = knapsack.MaxProfitUnderCtx(ctx, items, r.Budget, r.DataLeft, quantum)
+		}
+		if err != nil {
+			return nil, err
 		}
 		for _, p := range sol.Picked {
 			assign[slots[p]] = r.Sensor

@@ -1,0 +1,93 @@
+package srv
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mobisink/internal/energy"
+	"mobisink/internal/jobs"
+	"mobisink/internal/network"
+)
+
+// TestJobCancelAbortsSolver is the end-to-end proof that DELETE
+// /v1/jobs/{id} aborts a solve in flight: with a single worker, a
+// deliberately expensive request (large network, FPTAS at a tiny ε) is
+// canceled mid-solve, and a subsequent cheap job must then complete far
+// sooner than the expensive solve would have taken — which can only
+// happen if the cancellation actually unwound the solver and freed the
+// worker slot.
+func TestJobCancelAbortsSolver(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing-sensitive: the race detector slows the solve unpredictably")
+	}
+	if testing.Short() {
+		t.Skip("runs a deliberately expensive solve")
+	}
+	dep, err := network.Generate(network.Params{N: 300, PathLength: 10000, MaxOffset: 180, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	if err := dep.AssignSteadyStateBudgets(energy.PaperSolar(energy.Sunny), 3*2000, 0.5, rng); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	ts := httptest.NewServer(s.Mux())
+	t.Cleanup(ts.Close)
+
+	slow := Request{
+		Deployment: *dep, Speed: 5, SlotLen: 1,
+		Algorithm: "offline_appro", ForceFPTAS: true, Eps: 0.0004,
+	}
+	resp := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{Request: slow})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("slow job status %d", resp.StatusCode)
+	}
+	slowID := decodeBody[JobAccepted](t, resp).ID
+
+	waitState := func(id string, want func(jobs.State) bool, deadline time.Duration) jobs.Status {
+		t.Helper()
+		for start := time.Now(); time.Since(start) < deadline; {
+			r := doJSON(t, http.MethodGet, fmt.Sprintf("%s/v1/jobs/%s", ts.URL, id), nil)
+			if r.StatusCode != http.StatusOK {
+				t.Fatalf("job %s status %d", id, r.StatusCode)
+			}
+			st := decodeBody[jobs.Status](t, r)
+			if want(st.State) {
+				return st
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("job %s did not reach wanted state in %v", id, deadline)
+		return jobs.Status{}
+	}
+
+	waitState(slowID, func(s jobs.State) bool { return s == jobs.StateRunning }, 10*time.Second)
+	time.Sleep(50 * time.Millisecond) // let it get well into the sweep
+
+	canceled := time.Now()
+	resp = doJSON(t, http.MethodDelete, fmt.Sprintf("%s/v1/jobs/%s", ts.URL, slowID), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", resp.StatusCode)
+	}
+	st := waitState(slowID, func(s jobs.State) bool { return s.Terminal() }, 10*time.Second)
+	if st.State != jobs.StateCanceled {
+		t.Fatalf("slow job ended %q, want canceled", st.State)
+	}
+
+	// The cheap job can only run once the canceled solver has returned its
+	// worker; the 10 s budget is far below the minutes the ε=4e-4 FPTAS
+	// needs, so passing implies a genuine mid-solve abort.
+	fast := Request{Deployment: *dep, Speed: 5, SlotLen: 1, Algorithm: "offline_greedy"}
+	resp = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", JobRequest{Request: fast})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fast job status %d", resp.StatusCode)
+	}
+	fastID := decodeBody[JobAccepted](t, resp).ID
+	waitState(fastID, func(s jobs.State) bool { return s == jobs.StateDone }, 10*time.Second)
+	t.Logf("worker freed and cheap job done %v after cancel", time.Since(canceled))
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package srv
+
+const raceEnabled = false

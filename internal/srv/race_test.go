@@ -1,0 +1,7 @@
+//go:build race
+
+package srv
+
+// raceEnabled gates timing-sensitive end-to-end tests that rely on the
+// relative cost of a real solve, which the race detector distorts.
+const raceEnabled = true

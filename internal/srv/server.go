@@ -65,9 +65,9 @@ type Server struct {
 	memo  *cache.Memo[string, *Response]
 	reg   *metrics.Registry
 	hm    *httpMetrics
-	// run computes one allocation; it defaults to Allocate and exists so
-	// tests can observe or stall computations.
-	run func(*Request) (*Response, error)
+	// run computes one allocation; it defaults to AllocateCtx and exists
+	// so tests can observe or stall computations.
+	run func(context.Context, *Request) (*Response, error)
 }
 
 // New returns a started server (its worker pool is live immediately).
@@ -83,7 +83,7 @@ func New(cfg Config) *Server {
 		memo:  cache.NewMemo[string, *Response](cfg.CacheEntries),
 		reg:   reg,
 		hm:    newHTTPMetrics(reg),
-		run:   Allocate,
+		run:   AllocateCtx,
 	}
 	s.registerStateMetrics(reg)
 	return s
@@ -138,13 +138,16 @@ func cacheKey(req *Request) (string, error) {
 
 // compute runs one allocation through the result cache: repeats are
 // served from the LRU and concurrent identical requests share a single
-// solver run. Errors are never cached.
-func (s *Server) compute(req *Request) (resp *Response, cached bool, err error) {
+// solver run. Errors are never cached. The context belongs to the caller
+// that initiated the flight (job or HTTP request); a follower of the
+// single-flight may therefore observe the initiator's cancellation error,
+// which is not cached and clears on retry.
+func (s *Server) compute(ctx context.Context, req *Request) (resp *Response, cached bool, err error) {
 	key, err := cacheKey(req)
 	if err != nil {
 		return nil, false, err
 	}
-	resp, err, cached = s.memo.Do(key, func() (*Response, error) { return s.run(req) })
+	resp, err, cached = s.memo.Do(key, func() (*Response, error) { return s.run(ctx, req) })
 	return resp, cached, err
 }
 
@@ -232,7 +235,7 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	resp, cached, err := s.compute(&req)
+	resp, cached, err := s.compute(r.Context(), &req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -275,7 +278,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	req := jr.Request
 	id, err := s.queue.Submit(func(ctx context.Context) (any, error) {
-		resp, _, err := s.compute(&req)
+		// ctx is the job's context: canceling the job (timeout or
+		// DELETE /v1/jobs/{id}) aborts the solver mid-search and frees
+		// the worker.
+		resp, _, err := s.compute(ctx, &req)
 		if err != nil {
 			return nil, err
 		}
@@ -342,7 +348,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range br.Requests {
 		req := br.Requests[i]
 		id, err := s.queue.Submit(func(ctx context.Context) (any, error) {
-			resp, _, err := s.compute(&req)
+			resp, _, err := s.compute(ctx, &req)
 			if err != nil {
 				return nil, err
 			}

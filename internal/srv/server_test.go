@@ -24,7 +24,7 @@ func newTestServer(t *testing.T, cfg Config, run func(*Request) (*Response, erro
 	t.Helper()
 	s := New(cfg)
 	if run != nil {
-		s.run = run
+		s.run = func(_ context.Context, req *Request) (*Response, error) { return run(req) }
 	}
 	ts := httptest.NewServer(s.Mux())
 	t.Cleanup(ts.Close)

@@ -11,14 +11,16 @@
 package srv
 
 import (
+	"context"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"mobisink/internal/core"
 	"mobisink/internal/network"
-	"mobisink/internal/online"
 	"mobisink/internal/radio"
+	"mobisink/internal/solve"
 )
 
 // Request is the /v1/allocate payload.
@@ -67,6 +69,14 @@ func badRequest(format string, args ...interface{}) error {
 
 // Allocate runs one allocation request (exported for tests and embedding).
 func Allocate(req *Request) (*Response, error) {
+	return AllocateCtx(context.Background(), req)
+}
+
+// AllocateCtx is Allocate with cancellation: the context is threaded
+// through the solver registry into the underlying search, so canceling it
+// (job timeout, DELETE /v1/jobs/{id}, client disconnect) aborts the
+// computation mid-solve instead of letting it run to completion.
+func AllocateCtx(ctx context.Context, req *Request) (*Response, error) {
 	start := time.Now()
 	if req.Speed <= 0 || req.SlotLen <= 0 {
 		return nil, badRequest("speed and slot_len must be positive")
@@ -93,35 +103,22 @@ func Allocate(req *Request) (*Response, error) {
 	if alg == "" {
 		alg = "offline_appro"
 	}
-	var alloc *core.Allocation
-	switch alg {
-	case "offline_appro":
-		alloc, err = core.OfflineAppro(inst, opts)
-	case "offline_maxmatch":
-		alloc, err = core.OfflineMaxMatch(inst)
-	case "offline_greedy":
-		alloc, err = core.OfflineGreedy(inst)
-	case "offline_sequential":
-		alloc, err = core.OfflineSequential(inst, opts)
-	case "online_appro":
-		alloc, err = runOnline(inst, &online.Appro{Opts: opts})
-	case "online_maxmatch":
-		alloc, err = runOnline(inst, &online.MaxMatch{})
-	case "online_greedy":
-		alloc, err = runOnline(inst, &online.Greedy{})
-	case "online_sequential":
-		alloc, err = runOnline(inst, &online.Sequential{Opts: opts})
-	default:
+	solver, err := solve.New(alg, solve.Options{Core: opts})
+	if err != nil {
 		return nil, badRequest("unknown algorithm %q", alg)
 	}
+	alloc, err := solver.Solve(ctx, inst)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err // surface cancellation as-is, not as a 400
+		}
 		return nil, badRequest("%s: %v", alg, err)
 	}
 	if _, err := inst.Validate(alloc); err != nil {
 		return nil, fmt.Errorf("internal: produced infeasible allocation: %w", err)
 	}
 	return &Response{
-		Algorithm:    alg,
+		Algorithm:    strings.ToLower(alg),
 		Slots:        inst.T,
 		Gamma:        inst.Gamma,
 		DataMb:       core.ThroughputMb(alloc.Data),
@@ -130,12 +127,4 @@ func Allocate(req *Request) (*Response, error) {
 		EnergyUsed:   inst.EnergyUsed(alloc),
 		ElapsedMs:    float64(time.Since(start).Microseconds()) / 1000,
 	}, nil
-}
-
-func runOnline(inst *core.Instance, sched online.Scheduler) (*core.Allocation, error) {
-	res, err := online.Run(inst, sched)
-	if err != nil {
-		return nil, err
-	}
-	return res.Alloc, nil
 }
