@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-metrics test-race vet check bench bench-all cover experiments examples clean
+.PHONY: all build test test-metrics test-fault test-race vet check bench bench-all cover experiments examples clean
 
 all: build vet test
 
@@ -21,8 +21,16 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/solve ./internal/gap
 
-test: check test-metrics
+test: check test-metrics test-fault
 	$(GO) test ./...
+
+# Robustness gate: the fault-injection layer, the self-healing online
+# protocol, and the hardened serving path under the race detector
+# (includes the chaos sweep and the end-to-end panic/breaker tests),
+# preceded by vet. Part of the default `test` target.
+test-fault:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/fault ./internal/online ./internal/mac ./internal/srv
 
 # Observability gate: the metrics registry and the instrumented HTTP
 # server under the race detector (concurrent increments vs. scrapes),

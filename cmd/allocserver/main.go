@@ -22,7 +22,9 @@
 //
 // Operational endpoints:
 //
-//	GET /v1/healthz  → ok
+//	GET /v1/healthz  → 200 {"status":"ok"} when ready; 503 with a JSON
+//	                   reason while the circuit breaker is open or the
+//	                   job queue is saturated
 //	GET /v1/version  → build info + pool/queue/cache sizing
 //	GET /metrics     → Prometheus text exposition (queue, cache, HTTP,
 //	                   solver histograms)
@@ -64,6 +66,11 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 256, "LRU result cache size")
 	maxBody := flag.Int64("max-body-bytes", 8<<20, "request body cap in bytes (413 beyond)")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline (0 = none)")
+	retryAttempts := flag.Int("retry-attempts", 1, "solver retries after a transient server-side failure")
+	retryBackoff := flag.Duration("retry-backoff", 10*time.Millisecond, "initial retry backoff (doubles per attempt)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive solver failures before the circuit opens")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a half-open probe")
+	shedFraction := flag.Float64("shed-fraction", 0.8, "queue fill fraction beyond which allocations degrade to the greedy solver (≥1 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
 	debugAddr := flag.String("debug-addr", "", "optional second listener for /debug/pprof/ and /metrics (empty = disabled)")
 	flag.Parse()
@@ -85,6 +92,12 @@ func main() {
 		MaxBodyBytes: *maxBody,
 		JobTimeout:   *jobTimeout,
 		Metrics:      metrics.Default(),
+
+		RetryAttempts:    *retryAttempts,
+		RetryBackoff:     *retryBackoff,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		ShedFraction:     *shedFraction,
 	})
 	s := &http.Server{
 		Addr:              *addr,

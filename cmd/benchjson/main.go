@@ -30,7 +30,11 @@ type Result struct {
 	Case string `json:"case,omitempty"`
 	// N is the problem size parsed from an "N=<int>" path component;
 	// 0 when the benchmark has none.
-	N           int     `json:"n,omitempty"`
+	N int `json:"n,omitempty"`
+	// Degraded marks the fallback-scheduler rows (a "_Degraded" case
+	// suffix), so overhead comparisons against the primary solver rows
+	// need no name parsing downstream.
+	Degraded    bool    `json:"degraded,omitempty"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
@@ -57,6 +61,7 @@ func parseLine(line string) (Result, bool) {
 	parts := strings.Split(name, "/")
 	if len(parts) > 1 {
 		r.Case = parts[1]
+		r.Degraded = strings.HasSuffix(parts[1], "_Degraded")
 	}
 	for _, p := range parts {
 		if v, ok := strings.CutPrefix(p, "N="); ok {

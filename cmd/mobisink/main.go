@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to reproduce: 2, 3, 4a, 4b, msgs, gap, accrual, contention, latency, or all")
+		fig       = flag.String("fig", "all", "figure to reproduce: 2, 3, 4a, 4b, msgs, gap, accrual, contention, latency, faults, or all")
 		trials    = flag.Int("trials", 50, "random topologies per data point")
 		sizesFlag = flag.String("sizes", "", "comma-separated network sizes (default 100..600)")
 		seed      = flag.Int64("seed", 1, "base RNG seed")
@@ -38,6 +38,7 @@ func main() {
 		jitter    = flag.Float64("jitter", 0.5, "per-sensor budget jitter in [0,1)")
 		panel     = flag.Float64("panel", 0, "solar panel area in mm² (default: paper 10×10)")
 		workers   = flag.Int("workers", 0, "parallel trial workers (default GOMAXPROCS)")
+		faults    = flag.String("faults", "", "comma-separated message drop rates for the fault sweep (default 0,0.05,0.2,0.5); implies -fig faults unless -fig is set explicitly")
 		stats     = flag.Bool("stats", false, "after the run, dump the metrics snapshot (solver runtimes, per-tour data, event counts)")
 		solvers   = flag.Bool("solvers", false, "list the registered solver algorithms and exit")
 	)
@@ -64,6 +65,18 @@ func main() {
 		cfg.Condition = energy.PartlyCloudy
 	default:
 		fatalf("unknown condition %q (want sunny or cloudy)", *condition)
+	}
+	if *faults != "" {
+		for _, tok := range strings.Split(*faults, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil || r < 0 || r > 1 {
+				fatalf("bad fault rate %q (want a probability in [0,1])", tok)
+			}
+			cfg.FaultRates = append(cfg.FaultRates, r)
+		}
+		if !flagSet("fig") {
+			*fig = "faults"
+		}
 	}
 	if *sizesFlag != "" {
 		for _, tok := range strings.Split(*sizesFlag, ",") {
@@ -95,10 +108,12 @@ func main() {
 			tbl, err = exp.Contention(cfg)
 		case "latency":
 			tbl, err = exp.Latency(cfg)
+		case "faults":
+			tbl, err = exp.FaultSweep(cfg)
 		default:
 			run, ok := exp.Figures[id]
 			if !ok {
-				fatalf("unknown figure %q (want 2, 3, 4a, 4b, msgs, gap, accrual, contention, latency, all)", id)
+				fatalf("unknown figure %q (want 2, 3, 4a, 4b, msgs, gap, accrual, contention, latency, faults, all)", id)
 			}
 			tbl, err = run(cfg)
 		}
@@ -151,6 +166,17 @@ func dumpStats(w io.Writer) {
 type renderable interface {
 	Render(io.Writer) error
 	WriteCSV(io.Writer) error
+}
+
+// flagSet reports whether the named flag was given on the command line.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func fatalf(format string, args ...interface{}) {

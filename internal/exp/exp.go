@@ -56,6 +56,9 @@ type Config struct {
 	// default is the paper's 10×10 mm panel (≈1 mW average harvest under
 	// the sunny calibration).
 	PanelAreaMM2 float64
+	// FaultRates are the message drop rates swept by the fault-tolerance
+	// experiment; default {0, 0.05, 0.2, 0.5}.
+	FaultRates []float64
 	// Accrual scales per-tour budgets to model stored-energy carryover:
 	// budget = avgHarvest × tourDuration × Accrual. The paper's recurrence
 	// P_j = min(P_{j-1}+Q−O, B) lets unspent harvest accumulate across

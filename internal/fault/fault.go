@@ -1,0 +1,419 @@
+// Package fault is the deterministic fault-injection subsystem for the
+// online protocol and its simulations. The paper's distributed framework
+// (Algorithm 2) assumes a lossless control channel — every Probe reaches
+// every in-range sensor, every Ack reaches the sink, every registered
+// sensor survives the interval. Real energy-harvesting deployments violate
+// all of those constantly, so this package models the violations:
+//
+//   - per-message Bernoulli drops for Probe/Ack/Schedule/Finish,
+//   - sensor crash/recovery traces (outage slot windows),
+//   - mid-tour energy-harvest shortfalls (the budget the sensor planned on
+//     never materializes),
+//   - per-interval compute-deadline stalls (the sink's scheduler misses
+//     its broadcast deadline and must fall back to a cheap policy).
+//
+// Every decision is a pure function of (Plan.Seed, kind, coordinates) via
+// a splitmix64 hash, so fault traces are fully reproducible from one seed
+// and — crucially — independent of evaluation order: two subsystems may
+// ask the same question (e.g. "is interval 3's Finish jammed?") and get
+// the same answer without sharing an RNG stream.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Kind tags the protocol message or event a fault roll applies to.
+type Kind uint8
+
+// Fault-roll kinds. The values are part of the deterministic trace: two
+// rolls differing only in Kind are independent.
+const (
+	KindProbe Kind = iota + 1
+	KindAck
+	KindSchedule
+	KindFinish
+	KindStall
+)
+
+// Crash is one sensor outage: the sensor is dead (no Acks, no data
+// transmissions) for every slot in the inclusive range [From, To].
+type Crash struct {
+	Sensor int `json:"sensor"`
+	From   int `json:"from"`
+	To     int `json:"to"`
+}
+
+// Shortfall is one energy-harvest deficit: at slot Slot the sensor
+// discovers that Joules of its per-tour budget never accrued (clouds,
+// shadowing, a mis-calibrated prediction) and writes the loss off.
+type Shortfall struct {
+	Sensor int     `json:"sensor"`
+	Slot   int     `json:"slot"`
+	Joules float64 `json:"joules"`
+}
+
+// Plan is a declarative fault scenario for one tour. The zero value
+// injects nothing (and the online runner treats a zero plan exactly like
+// no plan at all).
+type Plan struct {
+	// Seed drives every Bernoulli roll; runs are reproducible per seed.
+	Seed int64 `json:"seed"`
+	// DropProbe is the per-(interval, sensor, attempt) probability that
+	// an in-range sensor fails to hear the sink's Probe broadcast.
+	DropProbe float64 `json:"drop_probe"`
+	// DropAck is the per-transmission probability that a sensor's Ack is
+	// lost on an otherwise collision-free channel.
+	DropAck float64 `json:"drop_ack"`
+	// DropSchedule is the per-(interval, sensor) probability that a
+	// registered sensor misses the Schedule broadcast and stays silent
+	// through its assigned slots.
+	DropSchedule float64 `json:"drop_schedule"`
+	// DropFinish is the per-interval probability that the Finish
+	// broadcast is jammed: no registered sensor commits its debit, so
+	// their next registrations report stale budgets.
+	DropFinish float64 `json:"drop_finish"`
+	// MaxRetries bounds Probe/Ack retransmission rounds per interval
+	// (0 = the paper's single exchange). Each extra round costs one
+	// probe broadcast plus the pending sensors' Acks.
+	MaxRetries int `json:"max_retries"`
+	// Crashes lists sensor outage windows in slot units.
+	Crashes []Crash `json:"crashes,omitempty"`
+	// Shortfalls lists mid-tour energy-harvest deficits.
+	Shortfalls []Shortfall `json:"shortfalls,omitempty"`
+	// StallProb is the per-interval probability that the scheduler
+	// exceeds its compute deadline and the sink degrades to the fallback
+	// policy for that interval.
+	StallProb float64 `json:"stall_prob"`
+	// StallIntervals forces specific intervals into degraded mode
+	// regardless of StallProb.
+	StallIntervals []int `json:"stall_intervals,omitempty"`
+}
+
+// maxRetriesCap bounds retransmission rounds so a hostile plan cannot
+// turn registration into an unbounded loop.
+const maxRetriesCap = 8
+
+// Zero reports whether the plan injects nothing: all probabilities zero,
+// no crashes, shortfalls, or forced stalls. A zero plan run is
+// semantically identical to a fault-free run.
+func (p *Plan) Zero() bool {
+	if p == nil {
+		return true
+	}
+	return p.DropProbe == 0 && p.DropAck == 0 && p.DropSchedule == 0 &&
+		p.DropFinish == 0 && p.StallProb == 0 &&
+		len(p.Crashes) == 0 && len(p.Shortfalls) == 0 && len(p.StallIntervals) == 0
+}
+
+// Validate rejects malformed plans: probabilities outside [0,1] or NaN,
+// negative retry counts, inverted crash windows, negative shortfalls.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{
+		{"drop_probe", p.DropProbe}, {"drop_ack", p.DropAck},
+		{"drop_schedule", p.DropSchedule}, {"drop_finish", p.DropFinish},
+		{"stall_prob", p.StallProb},
+	} {
+		if math.IsNaN(pr.v) || pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("fault: %s = %v outside [0,1]", pr.name, pr.v)
+		}
+	}
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("fault: max_retries = %d is negative", p.MaxRetries)
+	}
+	if p.MaxRetries > maxRetriesCap {
+		return fmt.Errorf("fault: max_retries = %d exceeds cap %d", p.MaxRetries, maxRetriesCap)
+	}
+	for _, c := range p.Crashes {
+		if c.Sensor < 0 {
+			return fmt.Errorf("fault: crash with negative sensor %d", c.Sensor)
+		}
+		if c.To < c.From {
+			return fmt.Errorf("fault: crash window [%d,%d] inverted", c.From, c.To)
+		}
+	}
+	for _, s := range p.Shortfalls {
+		if s.Sensor < 0 {
+			return fmt.Errorf("fault: shortfall with negative sensor %d", s.Sensor)
+		}
+		if math.IsNaN(s.Joules) || s.Joules < 0 {
+			return fmt.Errorf("fault: shortfall of %v J invalid", s.Joules)
+		}
+	}
+	return nil
+}
+
+// Sanitized returns a copy of the plan clamped into validity for a tour
+// with numSensors sensors and T slots: probabilities are clamped into
+// [0,1] (NaN → 0), retry counts into [0, 8], crash windows are swapped
+// when inverted and clipped to the tour (windows entirely past the tour
+// end are dropped), out-of-range sensors are dropped, and negative or
+// NaN shortfalls are zeroed. Fuzzing uses it to turn arbitrary bytes
+// into a runnable plan; production callers should Validate instead.
+func (p *Plan) Sanitized(numSensors, T int) Plan {
+	if p == nil {
+		return Plan{}
+	}
+	clamp01 := func(v float64) float64 {
+		if math.IsNaN(v) || v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	q := Plan{
+		Seed:         p.Seed,
+		DropProbe:    clamp01(p.DropProbe),
+		DropAck:      clamp01(p.DropAck),
+		DropSchedule: clamp01(p.DropSchedule),
+		DropFinish:   clamp01(p.DropFinish),
+		StallProb:    clamp01(p.StallProb),
+		MaxRetries:   p.MaxRetries,
+	}
+	if q.MaxRetries < 0 {
+		q.MaxRetries = 0
+	}
+	if q.MaxRetries > maxRetriesCap {
+		q.MaxRetries = maxRetriesCap
+	}
+	for _, c := range p.Crashes {
+		if c.To < c.From {
+			c.From, c.To = c.To, c.From
+		}
+		if c.Sensor < 0 || c.Sensor >= numSensors || c.From >= T || c.To < 0 {
+			continue
+		}
+		if c.From < 0 {
+			c.From = 0
+		}
+		if c.To >= T {
+			c.To = T - 1
+		}
+		q.Crashes = append(q.Crashes, c)
+	}
+	for _, s := range p.Shortfalls {
+		if s.Sensor < 0 || s.Sensor >= numSensors || math.IsNaN(s.Joules) || s.Joules <= 0 {
+			continue
+		}
+		if math.IsInf(s.Joules, 1) {
+			s.Joules = math.MaxFloat64
+		}
+		if s.Slot < 0 {
+			s.Slot = 0
+		}
+		if s.Slot >= T {
+			s.Slot = T - 1
+		}
+		q.Shortfalls = append(q.Shortfalls, s)
+	}
+	for _, iv := range p.StallIntervals {
+		if iv >= 0 {
+			q.StallIntervals = append(q.StallIntervals, iv)
+		}
+	}
+	return q
+}
+
+// Stats tallies the faults injected and the recoveries performed over one
+// tour. The online runner fills it; zero-valued fields mean the fault
+// class never fired.
+type Stats struct {
+	// ProbesDropped counts (sensor, attempt) pairs that missed a Probe.
+	ProbesDropped int
+	// AcksLost counts Ack transmissions erased by the injected drop rate
+	// (contention collisions are channel physics, tallied by the engine's
+	// ack-lost counter instead).
+	AcksLost int
+	// SchedulesMissed counts registered sensors that missed a Schedule
+	// broadcast that had assigned them at least one slot.
+	SchedulesMissed int
+	// FinishesJammed counts intervals whose Finish broadcast was dropped.
+	FinishesJammed int
+	// ProbeRetransmissions counts extra registration rounds beyond the
+	// paper's single exchange.
+	ProbeRetransmissions int
+	// CrashSilences counts in-range sensors that were down at probe time.
+	CrashSilences int
+	// RepairedSlots counts slots reassigned from a silent sensor to the
+	// next-best registered one.
+	RepairedSlots int
+	// LostSlots counts slots that went idle: the sink's one-slot silence
+	// detection, a repair unicast that was itself dropped, or no eligible
+	// replacement existing.
+	LostSlots int
+	// DegradedIntervals counts intervals scheduled by the fallback policy
+	// after a compute-deadline stall.
+	DegradedIntervals int
+	// BudgetClamps counts registrations whose stale reported budget was
+	// clamped down to the sink-tracked residual (feasibility guard).
+	BudgetClamps int
+	// ShortfallJoules is the total harvest deficit applied.
+	ShortfallJoules float64
+}
+
+// Injector answers fault questions for one tour. All decision methods are
+// pure — same arguments, same answer — so callers may consult them from
+// multiple places without coordinating; tallies live in Stats and are the
+// caller's responsibility.
+type Injector struct {
+	plan     Plan
+	stalls   map[int]bool // forced intervals
+	crashes  map[int][]Crash
+	deficits map[int][]Shortfall // sorted by slot
+}
+
+// NewInjector validates the plan and indexes its traces for a tour with
+// numSensors sensors and T slots.
+func NewInjector(p Plan, numSensors, T int) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	for _, c := range p.Crashes {
+		if c.Sensor >= numSensors {
+			return nil, fmt.Errorf("fault: crash names sensor %d of %d", c.Sensor, numSensors)
+		}
+	}
+	for _, s := range p.Shortfalls {
+		if s.Sensor >= numSensors {
+			return nil, fmt.Errorf("fault: shortfall names sensor %d of %d", s.Sensor, numSensors)
+		}
+		if s.Slot < 0 || s.Slot >= T {
+			return nil, fmt.Errorf("fault: shortfall at slot %d of %d", s.Slot, T)
+		}
+	}
+	in := &Injector{
+		plan:     p,
+		stalls:   make(map[int]bool, len(p.StallIntervals)),
+		crashes:  make(map[int][]Crash),
+		deficits: make(map[int][]Shortfall),
+	}
+	for _, iv := range p.StallIntervals {
+		in.stalls[iv] = true
+	}
+	for _, c := range p.Crashes {
+		in.crashes[c.Sensor] = append(in.crashes[c.Sensor], c)
+	}
+	for _, s := range p.Shortfalls {
+		in.deficits[s.Sensor] = append(in.deficits[s.Sensor], s)
+	}
+	for i := range in.deficits {
+		d := in.deficits[i]
+		sort.Slice(d, func(a, b int) bool { return d[a].Slot < d[b].Slot })
+	}
+	return in, nil
+}
+
+// Plan returns the validated plan the injector was built from.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// MaxRetries returns the plan's retransmission bound.
+func (in *Injector) MaxRetries() int { return in.plan.MaxRetries }
+
+// ProbeHeard reports whether the sensor hears the interval's Probe on the
+// given retransmission attempt.
+func (in *Injector) ProbeHeard(interval, sensor, attempt int) bool {
+	return !in.roll(in.plan.DropProbe, KindProbe, interval, sensor, attempt)
+}
+
+// AckLost reports whether the sensor's Ack transmission (identified by a
+// caller-chosen salt, e.g. retransmission round × contention attempt) is
+// erased in flight.
+func (in *Injector) AckLost(interval, sensor, salt int) bool {
+	return in.roll(in.plan.DropAck, KindAck, interval, sensor, salt)
+}
+
+// ScheduleHeard reports whether the registered sensor hears the
+// interval's Schedule broadcast.
+func (in *Injector) ScheduleHeard(interval, sensor int) bool {
+	return !in.roll(in.plan.DropSchedule, KindSchedule, interval, sensor, 0)
+}
+
+// RepairLost reports whether the unicast schedule-repair message
+// reassigning the slot to the sensor is dropped. Repairs ride the same
+// channel as the Schedule broadcast (same drop rate); the slot-based salt
+// (≥ 1) keeps the rolls independent of the broadcast's.
+func (in *Injector) RepairLost(interval, sensor, slot int) bool {
+	return in.roll(in.plan.DropSchedule, KindSchedule, interval, sensor, slot+1)
+}
+
+// FinishJammed reports whether the interval's Finish broadcast is
+// dropped. Both the discrete-event filter (which skips the broadcast
+// event) and the budget bookkeeping (which keeps the sensors' reported
+// budgets stale) consult this; purity keeps them agreeing.
+func (in *Injector) FinishJammed(interval int) bool {
+	return in.roll(in.plan.DropFinish, KindFinish, interval, 0, 0)
+}
+
+// Stalled reports whether the interval's scheduler blows its compute
+// deadline (forced via StallIntervals or rolled via StallProb).
+func (in *Injector) Stalled(interval int) bool {
+	if in.stalls[interval] {
+		return true
+	}
+	return in.roll(in.plan.StallProb, KindStall, interval, 0, 0)
+}
+
+// Alive reports whether the sensor is up at the slot (outside every crash
+// window).
+func (in *Injector) Alive(sensor, slot int) bool {
+	for _, c := range in.crashes[sensor] {
+		if slot >= c.From && slot <= c.To {
+			return false
+		}
+	}
+	return true
+}
+
+// Deficit returns the cumulative harvest shortfall the sensor has
+// discovered by the start of the given slot (inclusive), in Joules.
+func (in *Injector) Deficit(sensor, uptoSlot int) float64 {
+	total := 0.0
+	for _, s := range in.deficits[sensor] {
+		if s.Slot > uptoSlot {
+			break
+		}
+		total += s.Joules
+	}
+	return total
+}
+
+// roll is one Bernoulli trial: true with probability prob, deterministic
+// in (seed, kind, a, b, c).
+func (in *Injector) roll(prob float64, kind Kind, a, b, c int) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	return unit(in.plan.Seed, kind, a, b, c) < prob
+}
+
+// unit hashes the roll coordinates into [0, 1).
+func unit(seed int64, kind Kind, a, b, c int) float64 {
+	x := splitmix(uint64(seed) ^ 0x9e3779b97f4a7c15)
+	x = splitmix(x ^ uint64(kind))
+	x = splitmix(x ^ uint64(uint(a)))
+	x = splitmix(x ^ uint64(uint(b)))
+	x = splitmix(x ^ uint64(uint(c)))
+	return float64(x>>11) / (1 << 53)
+}
+
+// splitmix is the splitmix64 finalizer (Steele et al.), a cheap
+// high-quality bit mixer.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -365,6 +365,7 @@ func (q *Queue) run(jb *job) {
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
+				q.m.panicked()
 				res <- outcome{err: fmt.Errorf("jobs: job panicked: %v", r)}
 			}
 		}()

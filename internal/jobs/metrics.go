@@ -25,6 +25,9 @@ type Metrics struct {
 	// Run observes running→terminal duration in seconds
 	// (jobs_run_seconds).
 	Run *metrics.Histogram
+	// Panics counts job functions that panicked and were recovered into
+	// failed jobs (jobs_panics_recovered_total).
+	Panics *metrics.Counter
 }
 
 // NewMetrics registers the queue's metric families on r.
@@ -40,6 +43,8 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 			"Time jobs spend queued before a worker picks them up.", nil),
 		Run: r.Histogram("jobs_run_seconds",
 			"Time jobs spend executing on a worker.", nil),
+		Panics: r.Counter("jobs_panics_recovered_total",
+			"Job functions that panicked and were recovered into failures."),
 	}
 }
 
@@ -66,6 +71,13 @@ func (q *Queue) RegisterGauges(r *metrics.Registry) {
 		func() float64 { return float64(q.Depth()) })
 	r.GaugeFunc("jobs_workers",
 		"Worker pool size.", func() float64 { return float64(q.Workers()) })
+}
+
+// panicked records one recovered job panic; nil-safe.
+func (m *Metrics) panicked() {
+	if m != nil {
+		m.Panics.Inc()
+	}
 }
 
 // transition records one lifecycle entry; nil-safe.

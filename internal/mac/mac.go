@@ -86,6 +86,52 @@ func CSMAWindow(n, w int, rng *rand.Rand) ([]bool, error) {
 	return ok, nil
 }
 
+// CSMAWindowLossy is CSMAWindow over an erasure channel: even a
+// collision-free transmission is lost when lossy(contender, attempt)
+// reports true, in which case the contender behaves like a collider —
+// it detects the missing acknowledgement and re-draws a backoff in the
+// remaining window (lost for good when no slots remain). attempt counts
+// the contender's transmissions so far (0 for the first), letting a
+// deterministic fault plan key each erasure independently. A nil lossy
+// degrades to plain CSMAWindow.
+func CSMAWindowLossy(n, w int, rng *rand.Rand, lossy func(contender, attempt int) bool) ([]bool, error) {
+	if lossy == nil {
+		return CSMAWindow(n, w, rng)
+	}
+	if err := check(n, w, rng); err != nil {
+		return nil, err
+	}
+	backoff := make([]int, n)
+	attempts := make([]int, n)
+	for i := range backoff {
+		backoff[i] = rng.Intn(w)
+	}
+	ok := make([]bool, n)
+	lost := make([]bool, n)
+	for slot := 0; slot < w; slot++ {
+		var txs []int
+		for i, b := range backoff {
+			if b == slot && !ok[i] && !lost[i] {
+				txs = append(txs, i)
+			}
+		}
+		for _, i := range txs {
+			delivered := len(txs) == 1 && !lossy(i, attempts[i])
+			attempts[i]++
+			if delivered {
+				ok[i] = true
+				continue
+			}
+			if slot+1 >= w {
+				lost[i] = true
+				continue
+			}
+			backoff[i] = slot + 1 + rng.Intn(w-slot-1)
+		}
+	}
+	return ok, nil
+}
+
 // ExpectedRegistrations estimates the mean number of successful CSMA
 // registrations by Monte-Carlo (deterministic per seed).
 func ExpectedRegistrations(n, w, trials int, seed int64) (float64, error) {

@@ -129,3 +129,118 @@ func TestExpectedRegistrationsMonotone(t *testing.T) {
 		t.Errorf("cannot register more than n: %v", large)
 	}
 }
+
+// Satellite coverage: collision/backoff edge cases.
+
+// All Acks collide in every slot: with a single-slot window and multiple
+// contenders, everyone transmits in slot 0, collides, and has no
+// remaining slots to retry into — the whole interval is lost.
+func TestCSMAAllAcksCollide(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 3, 8} {
+		ok, err := CSMAWindow(n, 1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range ok {
+			if s {
+				t.Errorf("n=%d: contender %d succeeded in an all-collide window", n, i)
+			}
+		}
+	}
+}
+
+// Single-sensor contention: one contender never collides, so it succeeds
+// for every window size and every seed.
+func TestCSMASingleSensor(t *testing.T) {
+	for _, w := range []int{1, 2, 16, 256} {
+		for seed := int64(0); seed < 5; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			ok, err := CSMAWindow(1, w, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ok) != 1 || !ok[0] {
+				t.Fatalf("w=%d seed=%d: lone contender failed", w, seed)
+			}
+			aloha, err := SlottedAloha(1, w, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !aloha[0] {
+				t.Fatalf("w=%d seed=%d: lone ALOHA contender failed", w, seed)
+			}
+		}
+	}
+}
+
+// Zero-slot registration windows are rejected, not silently emptied, for
+// every contention model; zero contenders in a valid window succeed
+// vacuously.
+func TestCSMAZeroSlotWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := CSMAWindow(3, 0, rng); err == nil {
+		t.Error("CSMAWindow accepted w=0")
+	}
+	if _, err := SlottedAloha(3, 0, rng); err == nil {
+		t.Error("SlottedAloha accepted w=0")
+	}
+	if _, err := CSMAWindowLossy(3, 0, rng, func(int, int) bool { return false }); err == nil {
+		t.Error("CSMAWindowLossy accepted w=0")
+	}
+	if _, err := CSMAWindow(3, -2, rng); err == nil {
+		t.Error("negative window accepted")
+	}
+	ok, err := CSMAWindow(0, 4, rng)
+	if err != nil || len(ok) != 0 {
+		t.Errorf("zero contenders: ok=%v err=%v", ok, err)
+	}
+}
+
+// The lossless erasure channel matches plain CSMA exactly (same rng
+// stream consumption on success paths), and a fully-lossy channel
+// registers nobody.
+func TestCSMAWindowLossy(t *testing.T) {
+	a, err := CSMAWindowLossy(10, 32, rand.New(rand.NewSource(5)), func(int, int) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CSMAWindow(10, 32, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("lossless erasure diverges from plain CSMA at %d", i)
+		}
+	}
+	all, err := CSMAWindowLossy(10, 32, rand.New(rand.NewSource(5)), func(int, int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range all {
+		if s {
+			t.Errorf("contender %d succeeded on a fully-lossy channel", i)
+		}
+	}
+	// nil lossy degrades to plain CSMA.
+	c, err := CSMAWindowLossy(10, 32, rand.New(rand.NewSource(5)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c {
+		if c[i] != b[i] {
+			t.Fatalf("nil-lossy diverges from plain CSMA at %d", i)
+		}
+	}
+	// Partial loss: attempts are per contender; an erasure on the first
+	// attempt can be recovered by a retry inside the window.
+	firstLoss := func(_, attempt int) bool { return attempt == 0 }
+	retried, err := CSMAWindowLossy(1, 64, rand.New(rand.NewSource(5)), firstLoss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !retried[0] {
+		t.Error("first-attempt erasure not recovered by in-window retry")
+	}
+}

@@ -1,0 +1,399 @@
+package online
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mobisink/internal/core"
+	"mobisink/internal/fault"
+	"mobisink/internal/mac"
+	"mobisink/internal/sim"
+)
+
+// This file is the self-healing variant of the protocol loop: it runs only
+// when Options enables fault injection (or a compute deadline), so the
+// fault-free path in online.go stays byte-identical to the paper's
+// idealized protocol. Recovery mechanisms, in protocol order:
+//
+//   1. bounded Probe/Ack retransmission — sensors that missed the Probe or
+//      whose Ack was lost get up to Plan.MaxRetries extra registration
+//      rounds (each costs one Probe broadcast plus the stragglers' Acks);
+//   2. budget feasibility guard — a sensor that missed a Finish broadcast
+//      re-registers with a stale (undebited) budget; the sink clamps the
+//      claim against its own ledger so a stale registration can never
+//      overdraw the physical budget;
+//   3. degraded mode — an interval whose scheduler blows its compute
+//      deadline (injected via Plan.StallProb/StallIntervals, or measured
+//      against Options.ComputeDeadline) falls back to the density-greedy
+//      scheduler instead of idling the interval;
+//   4. schedule repair — when a scheduled sensor goes silent (crashed or
+//      deaf to the Schedule broadcast), the sink loses one slot detecting
+//      it, then reassigns the sensor's remaining slots to the next-best
+//      registered sensor, re-checking energy and data budgets per slot so
+//      repairs never overdraw anyone.
+
+// faultState carries the per-tour recovery bookkeeping.
+type faultState struct {
+	inj   *fault.Injector
+	stats *fault.Stats
+	// reported[i] is sensor i's own budget bookkeeping: it debits on
+	// Finish receipt (paper protocol), so a jammed Finish leaves it stale
+	// above the physical residual until the next delivered Finish.
+	reported []float64
+	// deficitApplied[i] is the cumulative harvest shortfall already
+	// written off sensor i's budgets.
+	deficitApplied []float64
+	degraded       Scheduler
+}
+
+// newFaultState builds the recovery bookkeeping for one tour.
+func newFaultState(inj *fault.Injector, inst *core.Instance, opts Options, res *Result) *faultState {
+	fs := &faultState{
+		inj:            inj,
+		stats:          &fault.Stats{},
+		reported:       make([]float64, len(inst.Sensors)),
+		deficitApplied: make([]float64, len(inst.Sensors)),
+		degraded:       opts.Degraded,
+	}
+	copy(fs.reported, res.Residual)
+	if fs.degraded == nil {
+		if inst.DataCaps != nil {
+			fs.degraded = &Sequential{}
+		} else {
+			fs.degraded = &Greedy{}
+		}
+	}
+	return fs
+}
+
+// finishFilter is the discrete-event hook dropping jammed Finish
+// broadcasts; it consults the same pure roll as the budget bookkeeping,
+// so both layers agree on which intervals lost their Finish.
+func (fs *faultState) finishFilter(name string, _ float64) bool {
+	var j int
+	if _, err := fmt.Sscanf(name, "finish-%d", &j); err == nil {
+		return !fs.inj.FinishJammed(j)
+	}
+	return true
+}
+
+// runIntervalFaulty is runInterval under the fault plan: the same
+// probe → ack → schedule → transmit → finish cycle, with drops injected
+// and the recovery protocol active.
+func runIntervalFaulty(ctx context.Context, eng *sim.Engine, inst *core.Instance, sched Scheduler, iv Interval, res *Result, opts Options, contention *rand.Rand, fs *faultState) error {
+	inj, st := fs.inj, fs.stats
+
+	// Harvest shortfalls discovered by this interval's start are written
+	// off both the physical residual and the sensor's own bookkeeping
+	// (the sensor meters its own harvester; mid-interval shortfalls are
+	// quantized to the next interval boundary).
+	for i := range inst.Sensors {
+		d := inj.Deficit(i, iv.Start) - fs.deficitApplied[i]
+		if d <= 0 {
+			continue
+		}
+		fs.deficitApplied[i] += d
+		res.Residual[i] = math.Max(0, res.Residual[i]-d)
+		fs.reported[i] = math.Max(0, fs.reported[i]-d)
+		st.ShortfallJoules += d
+	}
+
+	sinkPos := inst.Traj.PosAtSlotStart(iv.Start)
+	var inRange []int
+	for i := range inst.Sensors {
+		s := &inst.Sensors[i]
+		if s.Start < 0 || sinkPos.Dist(s.Pos) > inst.Range {
+			continue
+		}
+		if !inj.Alive(i, iv.Start) {
+			st.CrashSilences++
+			continue
+		}
+		inRange = append(inRange, i)
+	}
+
+	// Registration with bounded retransmission: round 0 is the paper's
+	// exchange; every extra round re-probes the sensors still missing.
+	registered := make(map[int]bool, len(inRange))
+	for attempt := 0; attempt <= inj.MaxRetries(); attempt++ {
+		var pending []int
+		for _, i := range inRange {
+			if !registered[i] {
+				pending = append(pending, i)
+			}
+		}
+		if len(pending) == 0 {
+			if attempt == 0 {
+				eng.Count("probe", 1) // the sink probes even an empty cell
+			}
+			break
+		}
+		if attempt > 0 {
+			st.ProbeRetransmissions++
+		}
+		eng.Count("probe", 1)
+		var hearers []int
+		for _, i := range pending {
+			if !inj.ProbeHeard(iv.Index, i, attempt) {
+				st.ProbesDropped++
+				continue
+			}
+			hearers = append(hearers, i)
+		}
+		// Stats.AcksLost counts injected erasures only; contention
+		// collisions are channel physics and stay in the engine's
+		// "ack-lost" counter, same as the fault-free path.
+		heard := make([]bool, len(hearers))
+		if contention != nil && opts.AckWindow > 0 {
+			a := attempt
+			ok, err := mac.CSMAWindowLossy(len(hearers), opts.AckWindow, contention,
+				func(k, try int) bool {
+					if inj.AckLost(iv.Index, hearers[k], a<<20|try) {
+						st.AcksLost++
+						return true
+					}
+					return false
+				})
+			if err != nil {
+				return err
+			}
+			heard = ok
+		} else {
+			for k, i := range hearers {
+				lost := inj.AckLost(iv.Index, i, attempt<<20)
+				if lost {
+					st.AcksLost++
+				}
+				heard[k] = !lost
+			}
+		}
+		for k, i := range hearers {
+			eng.Count("ack", 1)
+			if !heard[k] {
+				eng.Count("ack-lost", 1)
+				continue
+			}
+			registered[i] = true
+		}
+	}
+
+	// Canonical registration order (sensor index) regardless of which
+	// round an Ack landed in, with the sink-side feasibility guard: the
+	// sensor's claimed budget is clamped against the physical residual so
+	// a stale (Finish-jammed) registration can never overdraw.
+	var regs []Registration
+	for _, i := range inRange {
+		if !registered[i] {
+			continue
+		}
+		s := &inst.Sensors[i]
+		res.RegisteredIn[i] = append(res.RegisteredIn[i], iv.Index)
+		cs, ce := s.Start, s.End
+		if cs < iv.Start {
+			cs = iv.Start
+		}
+		if ce > iv.End {
+			ce = iv.End
+		}
+		budget := fs.reported[i]
+		if budget > res.Residual[i] {
+			st.BudgetClamps++
+			budget = res.Residual[i]
+		}
+		regs = append(regs, Registration{
+			Sensor: i, Budget: budget, DataLeft: res.ResidualData[i],
+			ClipStart: cs, ClipEnd: ce,
+		})
+	}
+	if len(regs) == 0 {
+		return nil
+	}
+
+	// Scheduler, with degraded-mode fallback on compute-deadline stalls.
+	assign, err := fs.schedule(ctx, inst, sched, iv, regs, opts)
+	if err != nil {
+		return fmt.Errorf("online: interval %d: %w", iv.Index, err)
+	}
+	eng.Count("schedule", 1)
+	if err := commitFaulty(inst, iv, regs, assign, res, fs); err != nil {
+		return fmt.Errorf("online: interval %d: %w", iv.Index, err)
+	}
+
+	// Finish broadcast: the discrete-event filter drops it when jammed;
+	// the sensors that heard it sync their bookkeeping to the physical
+	// residual (their debit), the rest stay stale for the guard to catch.
+	if inj.FinishJammed(iv.Index) {
+		st.FinishesJammed++
+	} else {
+		for _, r := range regs {
+			fs.reported[r.Sensor] = res.Residual[r.Sensor]
+		}
+	}
+	finishAt := (float64(iv.End) + 1) * inst.Tau
+	return eng.Schedule(finishAt, fmt.Sprintf("finish-%d", iv.Index), func(float64) {
+		eng.Count("finish", 1)
+	})
+}
+
+// schedule runs the interval's scheduler under the stall model: an
+// injected stall skips the primary scheduler outright; a measured
+// compute-deadline overrun (Options.ComputeDeadline) aborts it mid-search
+// via context. Either way the interval is rescheduled by the degraded
+// fallback instead of idling.
+func (fs *faultState) schedule(ctx context.Context, inst *core.Instance, sched Scheduler, iv Interval, regs []Registration, opts Options) (map[int]int, error) {
+	if fs.inj.Stalled(iv.Index) {
+		fs.stats.DegradedIntervals++
+		return fs.degraded.Schedule(ctx, inst, iv, regs)
+	}
+	if opts.ComputeDeadline > 0 {
+		cctx, cancel := context.WithTimeout(ctx, opts.ComputeDeadline)
+		assign, err := sched.Schedule(cctx, inst, iv, regs)
+		cancel()
+		if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			fs.stats.DegradedIntervals++
+			return fs.degraded.Schedule(ctx, inst, iv, regs)
+		}
+		return assign, err
+	}
+	return sched.Schedule(ctx, inst, iv, regs)
+}
+
+// commitFaulty validates the scheduler's output against the protocol
+// rules, then commits it slot by slot under the failure model: silent
+// sensors cost the sink one detection slot, their remaining slots are
+// repaired to the next-best registered sensor, and every commitment —
+// planned or repaired — re-checks the energy and data budgets so nothing
+// overdraws. On a quiet interval (nothing fired) it commits exactly what
+// applyAssignment would.
+func commitFaulty(inst *core.Instance, iv Interval, regs []Registration, assign map[int]int, res *Result, fs *faultState) error {
+	inj, st := fs.inj, fs.stats
+	regOf := make(map[int]*Registration, len(regs))
+	for k := range regs {
+		regOf[regs[k].Sensor] = &regs[k]
+	}
+	// Protocol-rule validation of the raw scheduler output, identical to
+	// the fault-free path: misbehavior is an error, not a fault to heal.
+	slots := make([]int, 0, len(assign))
+	for slot, sensor := range assign {
+		r, ok := regOf[sensor]
+		if !ok {
+			return fmt.Errorf("scheduler assigned slot %d to unregistered sensor %d", slot, sensor)
+		}
+		if slot < r.ClipStart || slot > r.ClipEnd {
+			return fmt.Errorf("slot %d outside clipped window [%d,%d] of sensor %d", slot, r.ClipStart, r.ClipEnd, sensor)
+		}
+		if res.Alloc.SlotOwner[slot] != -1 {
+			return fmt.Errorf("slot %d double-booked", slot)
+		}
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+
+	// deaf: registered sensors that missed the Schedule broadcast. They
+	// neither transmit nor accept repair assignments this interval.
+	deaf := make(map[int]bool)
+	for _, r := range regs {
+		if !inj.ScheduleHeard(iv.Index, r.Sensor) {
+			deaf[r.Sensor] = true
+		}
+	}
+	countedDeaf := make(map[int]bool)
+	detected := make(map[int]bool) // sensors the sink has caught silent
+	spend := make(map[int]float64)
+	dataSpend := make(map[int]float64)
+
+	// fits reports whether the sensor can afford one more transmission at
+	// the slot on top of what this interval already committed to it.
+	fits := func(sensor, slot int) bool {
+		r := regOf[sensor]
+		e := inst.Sensors[sensor].PowerAt(slot) * inst.Tau
+		d := inst.Sensors[sensor].RateAt(slot) * inst.Tau
+		if spend[sensor]+e > r.Budget+1e-9 {
+			return false
+		}
+		return dataSpend[sensor]+d <= r.DataLeft+1e-6
+	}
+	commit := func(sensor, slot int) {
+		spend[sensor] += inst.Sensors[sensor].PowerAt(slot) * inst.Tau
+		dataSpend[sensor] += inst.Sensors[sensor].RateAt(slot) * inst.Tau
+		res.Alloc.SlotOwner[slot] = sensor
+	}
+	// repair finds the next-best replacement for a slot: the eligible
+	// registered sensor with the highest rate there. The repair is a
+	// unicast schedule update, itself subject to the Schedule drop rate.
+	repair := func(slot, exclude int) {
+		best, bestRate := -1, 0.0
+		for _, r := range regs {
+			i := r.Sensor
+			if i == exclude || deaf[i] || detected[i] || !inj.Alive(i, slot) {
+				continue
+			}
+			if slot < r.ClipStart || slot > r.ClipEnd {
+				continue
+			}
+			rate, pw := inst.Sensors[i].RateAt(slot), inst.Sensors[i].PowerAt(slot)
+			if rate <= 0 || pw <= 0 || !fits(i, slot) {
+				continue
+			}
+			if rate > bestRate {
+				best, bestRate = i, rate
+			}
+		}
+		if best < 0 || inj.RepairLost(iv.Index, best, slot) {
+			st.LostSlots++
+			return
+		}
+		st.RepairedSlots++
+		commit(best, slot)
+	}
+
+	for _, slot := range slots {
+		sensor := assign[slot]
+		switch {
+		case deaf[sensor]:
+			if !countedDeaf[sensor] {
+				countedDeaf[sensor] = true
+				st.SchedulesMissed++
+			}
+			if !detected[sensor] {
+				// The sink spends this slot discovering the silence.
+				detected[sensor] = true
+				st.LostSlots++
+				continue
+			}
+			repair(slot, sensor)
+		case !inj.Alive(sensor, slot):
+			if !detected[sensor] {
+				detected[sensor] = true
+				st.LostSlots++
+				continue
+			}
+			repair(slot, sensor)
+		case detected[sensor]:
+			// Once caught silent, the sink stops trusting the sensor for
+			// the rest of the interval even if it comes back.
+			repair(slot, sensor)
+		case !fits(sensor, slot):
+			// Only possible after a repair consumed this sensor's budget;
+			// the sink made that repair, so it reassigns proactively
+			// without losing a detection slot.
+			repair(slot, sensor)
+		default:
+			commit(sensor, slot)
+		}
+	}
+
+	// Debit physical residuals exactly like the fault-free path (one
+	// subtraction per sensor, in slot-accumulation order).
+	for sensor, e := range spend {
+		res.Residual[sensor] = math.Max(0, res.Residual[sensor]-e)
+		if !math.IsInf(res.ResidualData[sensor], 1) {
+			res.ResidualData[sensor] = math.Max(0, res.ResidualData[sensor]-dataSpend[sensor])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobisink/internal/core"
+	"mobisink/internal/energy"
+	"mobisink/internal/fault"
+	"mobisink/internal/network"
+	"mobisink/internal/radio"
+)
+
+// fuzzInstance builds a small tour (fast enough for the fuzz loop) once.
+func fuzzInstance(f *testing.F) *core.Instance {
+	f.Helper()
+	d, err := network.Generate(network.Params{N: 12, PathLength: 2000, MaxOffset: 120, Seed: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := energy.PaperSolar(energy.Sunny)
+	rng := rand.New(rand.NewSource(4))
+	if err := d.AssignSteadyStateBudgets(h, 2000/10.0, 0.2, rng); err != nil {
+		f.Fatal(err)
+	}
+	inst, err := core.BuildInstance(d, radio.Paper2013(), 10, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return inst
+}
+
+// FuzzFaultPlan throws malformed fault plans — NaN and out-of-range drop
+// rates, crash windows past the tour end or inverted, shortfalls at
+// impossible slots, huge retry counts — at the validator and the online
+// runner. Validate and NewInjector must reject garbage without panicking;
+// the sanitized plan must run to completion with an invariant-clean
+// schedule (Run's internal Validate enforces ≤1 sensor per slot and no
+// energy or data overdraw; Lemma 1 is checked here).
+func FuzzFaultPlan(f *testing.F) {
+	inst := fuzzInstance(f)
+	f.Add(int64(1), 0.1, 0.1, 0.1, 0.1, 0.05, 2, 3, 10, 40, 5, 12, 0.5, 1)
+	f.Add(int64(7), math.NaN(), -1.0, 2.0, 0.3, 1.5, -3, 99, -5, 1<<30, -1, 1<<29, math.Inf(1), -4)
+	f.Add(int64(-9), 1.0, 1.0, 1.0, 1.0, 1.0, 100, 0, 500, 100, 2, 0, -3.0, 7)
+	f.Fuzz(func(t *testing.T, seed int64,
+		dropProbe, dropAck, dropSchedule, dropFinish, stallProb float64,
+		retries, crashSensor, crashFrom, crashTo, sfSensor, sfSlot int,
+		sfJoules float64, stallIv int) {
+		raw := fault.Plan{
+			Seed:         seed,
+			DropProbe:    dropProbe,
+			DropAck:      dropAck,
+			DropSchedule: dropSchedule,
+			DropFinish:   dropFinish,
+			StallProb:    stallProb,
+			MaxRetries:   retries,
+			Crashes: []fault.Crash{
+				{Sensor: crashSensor, From: crashFrom, To: crashTo},
+				// Overlapping recovery windows for the same sensor.
+				{Sensor: crashSensor, From: crashFrom - 2, To: crashFrom + 2},
+			},
+			Shortfalls:     []fault.Shortfall{{Sensor: sfSensor, Slot: sfSlot, Joules: sfJoules}},
+			StallIntervals: []int{stallIv, stallIv},
+		}
+		// Garbage in: reject or accept, never panic.
+		rawErr := raw.Validate()
+		if _, err := fault.NewInjector(raw, len(inst.Sensors), inst.T); err == nil && rawErr != nil {
+			t.Fatalf("injector accepted a plan Validate rejected: %v", rawErr)
+		}
+		// Sanitized plans must be valid and runnable.
+		plan := raw.Sanitized(len(inst.Sensors), inst.T)
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("Sanitized produced an invalid plan: %v", err)
+		}
+		res, err := RunOpts(inst, &Greedy{}, Options{Faults: &plan})
+		if err != nil {
+			t.Fatalf("sanitized plan failed the tour: %v", err)
+		}
+		if err := res.CheckLemma1(); err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range res.Residual {
+			if r < 0 || math.IsNaN(r) {
+				t.Fatalf("sensor %d residual %v after faults", i, r)
+			}
+		}
+	})
+}

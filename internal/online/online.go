@@ -26,8 +26,10 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"mobisink/internal/core"
+	"mobisink/internal/fault"
 	"mobisink/internal/gap"
 	"mobisink/internal/knapsack"
 	"mobisink/internal/mac"
@@ -89,6 +91,10 @@ type Result struct {
 	// ResidualData[i] is sensor i's remaining queued data after the tour,
 	// bits (+Inf entries on uncapped instances).
 	ResidualData []float64
+	// Fault tallies the injected faults and performed recoveries when the
+	// run used a fault plan (Options.Faults or ComputeDeadline); nil on
+	// fault-free runs.
+	Fault *fault.Stats
 }
 
 // CheckLemma1 verifies each sensor registered in at most two consecutive
@@ -115,6 +121,38 @@ type Options struct {
 	// Seed drives the contention randomness; runs are deterministic per
 	// seed.
 	Seed int64
+	// Rand, when non-nil, supplies the contention randomness directly
+	// instead of deriving a stream from Seed — injecting one generator
+	// makes a whole experiment (topology, budgets, contention, faults)
+	// reproducible from a single source. The run consumes the generator;
+	// reusing it across runs changes their draws.
+	Rand *rand.Rand
+	// Faults, when non-nil and non-zero, injects the fault plan into the
+	// tour (message drops, crashes, harvest shortfalls, compute stalls —
+	// see internal/fault) and enables the recovery protocol: bounded
+	// Probe/Ack retransmission, schedule repair, budget feasibility
+	// guards, and degraded-mode fallback. Nil (or a zero plan) keeps the
+	// paper's lossless channel and the byte-identical fault-free path.
+	Faults *fault.Plan
+	// ComputeDeadline, when positive, bounds each interval's scheduler
+	// wall-clock time; an interval whose scheduler overruns it falls back
+	// to the degraded scheduler (wall-clock dependent, so off by default;
+	// deterministic stalls are injected via Faults.StallProb instead).
+	ComputeDeadline time.Duration
+	// Degraded overrides the fallback scheduler used for stalled
+	// intervals. Nil picks the density-greedy scheduler (Sequential on
+	// data-capped instances, which Greedy cannot handle).
+	Degraded Scheduler
+}
+
+// contentionRand returns the RNG driving registration contention and
+// fault-path draws: the injected generator when set, else a fresh stream
+// from Seed.
+func (o Options) contentionRand() *rand.Rand {
+	if o.Rand != nil {
+		return o.Rand
+	}
+	return rand.New(rand.NewSource(o.Seed))
 }
 
 // Run simulates one tour of the online protocol over the instance using the
@@ -163,7 +201,32 @@ func RunCtx(ctx context.Context, inst *core.Instance, sched Scheduler, opts Opti
 
 	var contention *rand.Rand
 	if opts.AckWindow > 0 {
-		contention = rand.New(rand.NewSource(opts.Seed))
+		contention = opts.contentionRand()
+	}
+	// The fault path is taken only when something can actually fire, so
+	// the common fault-free run never diverges from the paper's protocol.
+	var fs *faultState
+	if (opts.Faults != nil && !opts.Faults.Zero()) || opts.ComputeDeadline > 0 {
+		if inst.DataCaps != nil && opts.Degraded != nil {
+			aware, ok := opts.Degraded.(interface{ CapAware() bool })
+			if !ok || !aware.CapAware() {
+				return nil, fmt.Errorf("online: degraded scheduler %s does not handle data-capped instances", opts.Degraded.Name())
+			}
+		}
+		plan := fault.Plan{}
+		if opts.Faults != nil {
+			plan = *opts.Faults
+		}
+		if plan.Seed == 0 {
+			plan.Seed = opts.Seed // one seed reproduces the whole run
+		}
+		inj, err := fault.NewInjector(plan, len(inst.Sensors), inst.T)
+		if err != nil {
+			return nil, err
+		}
+		fs = newFaultState(inj, inst, opts, res)
+		res.Fault = fs.stats
+		eng.SetFilter(fs.finishFilter)
 	}
 	var schedErr error
 	for j := 0; j < intervals; j++ {
@@ -182,7 +245,11 @@ func RunCtx(ctx context.Context, inst *core.Instance, sched Scheduler, opts Opti
 			if schedErr = ctx.Err(); schedErr != nil {
 				return
 			}
-			schedErr = runInterval(ctx, eng, inst, sched, iv, res, opts, contention)
+			if fs != nil {
+				schedErr = runIntervalFaulty(ctx, eng, inst, sched, iv, res, opts, contention, fs)
+			} else {
+				schedErr = runInterval(ctx, eng, inst, sched, iv, res, opts, contention)
+			}
 		})
 		if err != nil {
 			return nil, err
@@ -284,8 +351,7 @@ func applyAssignment(inst *core.Instance, iv Interval, regs []Registration, assi
 	for k := range regs {
 		regOf[regs[k].Sensor] = &regs[k]
 	}
-	spend := make(map[int]float64)
-	dataSpend := make(map[int]float64)
+	slots := make([]int, 0, len(assign))
 	for slot, sensor := range assign {
 		r, ok := regOf[sensor]
 		if !ok {
@@ -297,6 +363,16 @@ func applyAssignment(inst *core.Instance, iv Interval, regs []Registration, assi
 		if res.Alloc.SlotOwner[slot] != -1 {
 			return fmt.Errorf("slot %d double-booked", slot)
 		}
+		slots = append(slots, slot)
+	}
+	// Accumulate spends in ascending slot order: summation order pins the
+	// floating-point result, keeping residual budgets — and every decision
+	// downstream of them — independent of map iteration order.
+	sort.Ints(slots)
+	spend := make(map[int]float64)
+	dataSpend := make(map[int]float64)
+	for _, slot := range slots {
+		sensor := assign[slot]
 		spend[sensor] += inst.Sensors[sensor].PowerAt(slot) * inst.Tau
 		dataSpend[sensor] += inst.Sensors[sensor].RateAt(slot) * inst.Tau
 	}

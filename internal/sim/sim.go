@@ -61,6 +61,8 @@ type Engine struct {
 	seq      uint64
 	stopped  bool
 	executed int
+	dropped  int
+	filter   func(name string, at float64) bool
 	counters map[string]int
 }
 
@@ -71,6 +73,19 @@ func NewEngine() *Engine {
 
 // Now returns the current simulation time.
 func (e *Engine) Now() float64 { return e.now }
+
+// SetFilter installs a pre-execution hook used for fault injection:
+// an event for which filter returns false is discarded instead of
+// executed (time still advances to its timestamp, and the drop is
+// tallied under Dropped). A nil filter executes everything. The filter
+// should be pure — the fault layer relies on asking the same question
+// from multiple places and getting the same answer.
+func (e *Engine) SetFilter(filter func(name string, at float64) bool) {
+	e.filter = filter
+}
+
+// Dropped returns the number of events discarded by the filter.
+func (e *Engine) Dropped() int { return e.dropped }
 
 // Executed returns the number of events processed so far.
 func (e *Engine) Executed() int { return e.executed }
@@ -108,6 +123,10 @@ func (e *Engine) Run() int {
 	for len(e.q) > 0 && !e.stopped {
 		it := heap.Pop(&e.q).(*item)
 		e.now = it.at
+		if e.filter != nil && !e.filter(it.name, it.at) {
+			e.dropped++
+			continue
+		}
 		it.fn(e.now)
 		n++
 		e.executed++

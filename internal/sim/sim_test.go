@@ -124,3 +124,39 @@ func must(t *testing.T, err error) {
 		t.Fatal(err)
 	}
 }
+
+// The fault layer's event filter: filtered events are discarded (not
+// executed), time still advances past them, and drops are tallied.
+func TestEventFilter(t *testing.T) {
+	e := NewEngine()
+	var ran []string
+	must(t, e.Schedule(1, "keep-1", func(float64) { ran = append(ran, "keep-1") }))
+	must(t, e.Schedule(2, "drop-2", func(float64) { ran = append(ran, "drop-2") }))
+	must(t, e.Schedule(3, "keep-3", func(float64) { ran = append(ran, "keep-3") }))
+	e.SetFilter(func(name string, at float64) bool {
+		if name == "drop-2" && at != 2 {
+			t.Errorf("filter saw at=%v for drop-2", at)
+		}
+		return name != "drop-2"
+	})
+	if n := e.Run(); n != 2 {
+		t.Fatalf("executed %d events, want 2", n)
+	}
+	if e.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", e.Dropped())
+	}
+	if len(ran) != 2 || ran[0] != "keep-1" || ran[1] != "keep-3" {
+		t.Fatalf("ran = %v", ran)
+	}
+	// Time advanced through the dropped event's timestamp.
+	if e.Now() != 3 {
+		t.Fatalf("now = %v", e.Now())
+	}
+	// Nil filter restores execute-everything behaviour.
+	e.SetFilter(nil)
+	must(t, e.Schedule(4, "drop-2", func(float64) { ran = append(ran, "late") }))
+	e.Run()
+	if len(ran) != 3 {
+		t.Fatal("nil filter must execute everything")
+	}
+}

@@ -11,8 +11,10 @@ import (
 
 	"mobisink/internal/core"
 	"mobisink/internal/energy"
+	"mobisink/internal/fault"
 	"mobisink/internal/knapsack"
 	"mobisink/internal/network"
+	"mobisink/internal/online"
 	"mobisink/internal/radio"
 )
 
@@ -199,10 +201,9 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 }
 
-func benchSolver(b *testing.B, name string, parallel bool) {
+func benchSolver(b *testing.B, name string, opts Options) {
 	for _, n := range []int{50, 100, 200} {
 		inst := paperInstance(b, n, 42, 5, 1)
-		opts := Options{Core: core.Options{Parallel: parallel}}
 		s, err := New(name, opts)
 		if err != nil {
 			b.Fatal(err)
@@ -220,9 +221,14 @@ func benchSolver(b *testing.B, name string, parallel bool) {
 // BenchmarkSolvers drives `make bench`: each sub-benchmark is one
 // (solver, network size) point of BENCH_solvers.json.
 func BenchmarkSolvers(b *testing.B) {
-	b.Run("Offline_Appro", func(b *testing.B) { benchSolver(b, "Offline_Appro", false) })
-	b.Run("Offline_Appro_Parallel", func(b *testing.B) { benchSolver(b, "Offline_Appro", true) })
-	b.Run("Offline_Greedy", func(b *testing.B) { benchSolver(b, "Offline_Greedy", false) })
-	b.Run("Offline_Sequential", func(b *testing.B) { benchSolver(b, "Offline_Sequential", false) })
-	b.Run("Online_Appro", func(b *testing.B) { benchSolver(b, "Online_Appro", false) })
+	parallel := Options{Core: core.Options{Parallel: true}}
+	// Every interval stalled: the degraded row isolates the fallback
+	// scheduler plus the fault-path bookkeeping overhead.
+	degraded := Options{Online: online.Options{Faults: &fault.Plan{StallProb: 1}}}
+	b.Run("Offline_Appro", func(b *testing.B) { benchSolver(b, "Offline_Appro", Options{}) })
+	b.Run("Offline_Appro_Parallel", func(b *testing.B) { benchSolver(b, "Offline_Appro", parallel) })
+	b.Run("Offline_Greedy", func(b *testing.B) { benchSolver(b, "Offline_Greedy", Options{}) })
+	b.Run("Offline_Sequential", func(b *testing.B) { benchSolver(b, "Offline_Sequential", Options{}) })
+	b.Run("Online_Appro", func(b *testing.B) { benchSolver(b, "Online_Appro", Options{}) })
+	b.Run("Online_Appro_Degraded", func(b *testing.B) { benchSolver(b, "Online_Appro", degraded) })
 }

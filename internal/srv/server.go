@@ -38,6 +38,23 @@ type Config struct {
 	// GET /metrics; nil means a fresh private registry (Server.Metrics
 	// returns it either way).
 	Metrics *metrics.Registry
+	// RetryAttempts is how many times a server-side solver failure
+	// (including a captured panic) is retried before counting against the
+	// circuit breaker; ≤ 0 means 1.
+	RetryAttempts int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt; ≤ 0 means 10ms.
+	RetryBackoff time.Duration
+	// BreakerThreshold is the consecutive server-side failure count that
+	// opens the circuit breaker (503 until cooldown); ≤ 0 means 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker fails fast before
+	// admitting a half-open probe; ≤ 0 means 5s.
+	BreakerCooldown time.Duration
+	// ShedFraction is the queue-utilization level (waiting jobs over
+	// capacity) beyond which new allocations degrade to the greedy
+	// solver; ≤ 0 means 0.8, ≥ 1 disables shedding.
+	ShedFraction float64
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +70,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = 1
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.ShedFraction <= 0 {
+		c.ShedFraction = 0.8
+	}
 	return c
 }
 
@@ -65,6 +97,8 @@ type Server struct {
 	memo  *cache.Memo[string, *Response]
 	reg   *metrics.Registry
 	hm    *httpMetrics
+	rm    *resilienceMetrics
+	br    *breaker
 	// run computes one allocation; it defaults to AllocateCtx and exists
 	// so tests can observe or stall computations.
 	run func(context.Context, *Request) (*Response, error)
@@ -77,15 +111,21 @@ func New(cfg Config) *Server {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	rm := newResilienceMetrics(reg)
 	s := &Server{
 		cfg:   cfg,
 		queue: jobs.New(cfg.Workers, cfg.QueueDepth, jobs.WithMetrics(jobs.NewMetrics(reg))),
 		memo:  cache.NewMemo[string, *Response](cfg.CacheEntries),
 		reg:   reg,
 		hm:    newHTTPMetrics(reg),
+		rm:    rm,
+		br:    newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, rm.breakerOpens),
 		run:   AllocateCtx,
 	}
 	s.registerStateMetrics(reg)
+	reg.GaugeFunc("srv_breaker_state",
+		"Circuit breaker state: 0 closed, 1 half-open, 2 open.",
+		s.br.stateValue)
 	return s
 }
 
@@ -104,17 +144,22 @@ func (s *Server) Close(ctx context.Context) error { return s.queue.Close(ctx) }
 
 // Mux returns the service's routing table. Every /v1 route is wrapped
 // in the metrics middleware (request counts by status class, latency
-// histograms, in-flight gauge); the registry itself is served at
-// GET /metrics in the Prometheus text format.
+// histograms, in-flight gauge) around the panic-recovery middleware, so
+// a panicking handler is recorded as a 500 rather than a dropped
+// connection; the registry itself is served at GET /metrics in the
+// Prometheus text format.
 func (s *Server) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/healthz", s.instrument("/v1/healthz", s.handleHealthz)) // GET also serves HEAD
-	mux.HandleFunc("GET /v1/version", s.instrument("/v1/version", s.handleVersion))
-	mux.HandleFunc("POST /v1/allocate", s.instrument("/v1/allocate", s.handleAllocate))
-	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleJobSubmit))
-	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobCancel))
-	mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
+	route := func(pattern, name string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(name, s.recoverMW(h)))
+	}
+	route("GET /v1/healthz", "/v1/healthz", s.handleHealthz) // GET also serves HEAD
+	route("GET /v1/version", "/v1/version", s.handleVersion)
+	route("POST /v1/allocate", "/v1/allocate", s.handleAllocate)
+	route("POST /v1/jobs", "/v1/jobs", s.handleJobSubmit)
+	route("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJobGet)
+	route("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJobCancel)
+	route("POST /v1/batch", "/v1/batch", s.handleBatch)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	return mux
 }
@@ -142,12 +187,26 @@ func cacheKey(req *Request) (string, error) {
 // that initiated the flight (job or HTTP request); a follower of the
 // single-flight may therefore observe the initiator's cancellation error,
 // which is not cached and clears on retry.
+//
+// Under queue saturation the request is degraded to the cheap greedy
+// solver before the cache key is computed, so degraded results live under
+// the degraded algorithm's own entry and never shadow primary results.
+// The solver invocation itself goes through the hardened path (breaker,
+// retry, panic capture) in resilience.go.
 func (s *Server) compute(ctx context.Context, req *Request) (resp *Response, cached bool, err error) {
+	if s.shouldShed() {
+		if cheap := degradedAlgorithm(req.Algorithm, req.DataCaps != nil); cheap != "" {
+			c := *req
+			c.Algorithm = cheap
+			req = &c
+			s.rm.shed.Inc()
+		}
+	}
 	key, err := cacheKey(req)
 	if err != nil {
 		return nil, false, err
 	}
-	resp, err, cached = s.memo.Do(key, func() (*Response, error) { return s.run(ctx, req) })
+	resp, err, cached = s.memo.Do(key, func() (*Response, error) { return s.invoke(ctx, req) })
 	return resp, cached, err
 }
 
@@ -193,9 +252,29 @@ func writeError(w http.ResponseWriter, err error) {
 	}
 }
 
+// Health is the GET /v1/healthz payload.
+type Health struct {
+	Status string `json:"status"` // "ok" or "unavailable"
+	Reason string `json:"reason,omitempty"`
+}
+
+// handleHealthz reports readiness, not mere liveness: a server that would
+// fail-fast or reject the next allocation (open circuit breaker,
+// saturated job queue) answers 503 with the reason, so load balancers
+// rotate it out before clients hit the failure.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	var reason string
+	switch st := s.queue.Stats(); {
+	case s.br.Open():
+		reason = "circuit breaker open"
+	case st.Queued >= s.queue.Depth():
+		reason = "job queue saturated"
+	}
+	if reason != "" {
+		writeJSON(w, http.StatusServiceUnavailable, Health{Status: "unavailable", Reason: reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, Health{Status: "ok"})
 }
 
 // VersionInfo is the /v1/version payload.
