@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-metrics test-fault test-race vet check bench bench-all cover experiments examples clean
+.PHONY: all build test test-metrics test-fault test-race vet check bench bench-all bench-compare bench-compare-short cover experiments examples clean
 
 all: build vet test
 
@@ -21,7 +21,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/solve ./internal/gap
 
-test: check test-metrics test-fault
+test: check test-metrics test-fault bench-compare-short
 	$(GO) test ./...
 
 # Robustness gate: the fault-injection layer, the self-healing online
@@ -48,13 +48,29 @@ test-race:
 	$(GO) test -race ./...
 
 # Solver benchmark campaign: every registered solver at N ∈ {50,100,200},
-# results captured as BENCH_solvers.json for regression tracking.
+# results captured as BENCH_solvers.json for regression tracking. -count 3
+# repeats each row; benchjson keeps the per-metric minimum, which damps
+# scheduler noise on shared machines.
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkSolvers -benchmem ./internal/solve \
+	$(GO) test -run '^$$' -bench BenchmarkSolvers -benchmem -count 3 ./internal/solve \
 		| $(GO) run ./cmd/benchjson -o BENCH_solvers.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# Perf regression gate: rerun the solver campaign and fail on any row
+# whose ns/op or allocs/op regressed more than 10% against the committed
+# BENCH_solvers.json; a >10% improvement refreshes the baseline instead.
+bench-compare:
+	$(GO) test -run '^$$' -bench BenchmarkSolvers -benchmem -count 3 ./internal/solve \
+		| $(GO) run ./cmd/benchjson -compare BENCH_solvers.json -threshold 10
+
+# One-iteration sanity pass of the same pipeline (part of `make test`):
+# proves the benchmarks still run and the gate still parses them, without
+# timing anything (-threshold 0 is report-only).
+bench-compare-short:
+	$(GO) test -run '^$$' -bench BenchmarkSolvers -benchtime 1x -benchmem ./internal/solve \
+		| $(GO) run ./cmd/benchjson -compare BENCH_solvers.json -threshold 0
 
 cover:
 	$(GO) test -cover ./...

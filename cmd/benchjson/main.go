@@ -8,6 +8,23 @@
 // component, when present, is lifted into its own field:
 //
 //	go test -bench BenchmarkSolvers -benchmem ./internal/solve | benchjson -o BENCH_solvers.json
+//
+// With -compare FILE it additionally gates the new results against a
+// baseline JSON: any row whose ns/op or allocs/op regressed by more than
+// -threshold percent fails the run (exit 1), as does a baseline row
+// missing from the new output. When every row holds and at least one
+// improved past the threshold, the baseline is rewritten so the win is
+// locked in for future runs; -update forces the rewrite. -threshold 0 (or
+// negative) reports the comparison without ever failing — the sanity mode
+// `make test` uses.
+//
+//	go test -bench BenchmarkSolvers -benchmem ./internal/solve | benchjson -compare BENCH_solvers.json -threshold 10
+//
+// With -cpuprofile FILE it self-runs the benchmark under the profiler
+// instead of reading stdin (see -pkg and -pattern), leaving a pprof
+// profile behind for profiling-guided optimization work:
+//
+//	benchjson -cpuprofile cpu.out -pattern 'BenchmarkSolvers/Offline_Appro$' -pkg ./internal/solve
 package main
 
 import (
@@ -15,7 +32,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 )
@@ -87,19 +106,124 @@ func parseLine(line string) (Result, bool) {
 	return r, true
 }
 
-func main() {
-	out := flag.String("o", "", "output file (default stdout)")
-	flag.Parse()
-
-	var results []Result
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		if r, ok := parseLine(sc.Text()); ok {
-			results = append(results, r)
+// compareResults gates fresh results against a baseline. It returns the
+// per-row regression messages (empty means the gate holds) and whether any
+// row improved past the threshold (the refresh trigger). threshold ≤ 0
+// never produces regressions.
+func compareResults(baseline, fresh []Result, threshold float64) (regressions []string, improved bool) {
+	byName := make(map[string]Result, len(fresh))
+	for _, r := range fresh {
+		byName[r.Name] = r
+	}
+	for _, old := range baseline {
+		now, ok := byName[old.Name]
+		if !ok {
+			if threshold > 0 {
+				regressions = append(regressions, fmt.Sprintf("%s: missing from new results", old.Name))
+			}
+			continue
+		}
+		if old.NsPerOp > 0 {
+			pct := (now.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+			if threshold > 0 && pct > threshold {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: ns/op %.0f -> %.0f (%+.1f%%)", old.Name, old.NsPerOp, now.NsPerOp, pct))
+			}
+			if threshold > 0 && pct < -threshold {
+				improved = true
+			}
+		}
+		if old.AllocsPerOp > 0 {
+			pct := float64(now.AllocsPerOp-old.AllocsPerOp) / float64(old.AllocsPerOp) * 100
+			if threshold > 0 && pct > threshold {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: allocs/op %d -> %d (%+.1f%%)", old.Name, old.AllocsPerOp, now.AllocsPerOp, pct))
+			}
+			if threshold > 0 && pct < -threshold {
+				improved = true
+			}
+		} else if threshold > 0 && now.AllocsPerOp > old.AllocsPerOp {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op %d -> %d", old.Name, old.AllocsPerOp, now.AllocsPerOp))
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return regressions, improved
+}
+
+func writeJSON(path string, results []Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// selfProfile runs the benchmark under the CPU profiler instead of
+// consuming stdin.
+func selfProfile(profile, pkg, pattern string) error {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-cpuprofile", profile, pkg)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "benchjson: %s\n", strings.Join(cmd.Args, " "))
+	return cmd.Run()
+}
+
+// parseAll reads a benchmark log and merges repeated rows (a `-count N`
+// run) by taking each metric's minimum — the noise-robust estimator: on a
+// busy machine the fastest repetition is the one least perturbed by
+// co-tenant load, and allocs/op is deterministic so min loses nothing.
+func parseAll(in io.Reader) ([]Result, error) {
+	var results []Result
+	index := map[string]int{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		r, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if i, seen := index[r.Name]; seen {
+			prev := &results[i]
+			prev.Iterations = max(prev.Iterations, r.Iterations)
+			prev.NsPerOp = min(prev.NsPerOp, r.NsPerOp)
+			prev.BytesPerOp = min(prev.BytesPerOp, r.BytesPerOp)
+			prev.AllocsPerOp = min(prev.AllocsPerOp, r.AllocsPerOp)
+			continue
+		}
+		index[r.Name] = len(results)
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON to gate new results against")
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent; <= 0 means report-only")
+	update := flag.Bool("update", false, "with -compare: always rewrite the baseline with the new results")
+	cpuprofile := flag.String("cpuprofile", "", "self-run the benchmark under the CPU profiler, writing the profile here")
+	pkg := flag.String("pkg", "./internal/solve", "package to benchmark in -cpuprofile mode")
+	pattern := flag.String("pattern", "BenchmarkSolvers", "benchmark regexp in -cpuprofile mode")
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		if err := selfProfile(*cpuprofile, *pkg, *pattern); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: profile run: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote CPU profile to %s\n", *cpuprofile)
+		return
+	}
+
+	results, err := parseAll(os.Stdin)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
 		os.Exit(1)
 	}
@@ -107,6 +231,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
+
+	if *compare != "" {
+		raw, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: read baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var baseline []Result
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parse baseline %s: %v\n", *compare, err)
+			os.Exit(1)
+		}
+		regressions, improved := compareResults(baseline, results, *threshold)
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %.0f%% vs %s:\n", len(regressions), *threshold, *compare)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d rows within %.0f%% of %s\n", len(results), *threshold, *compare)
+		if *update || improved {
+			if err := writeJSON(*compare, results); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: refresh baseline: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %s refreshed\n", *compare)
+		}
+		if *out == "" {
+			return
+		}
+	}
+
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)

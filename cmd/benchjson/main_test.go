@@ -1,0 +1,120 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkSolvers/Offline_Appro/N=100-8   \t  1353\t   1633733 ns/op\t   16417 B/op\t       2 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if r.Name != "BenchmarkSolvers/Offline_Appro/N=100" {
+		t.Fatalf("Name = %q", r.Name)
+	}
+	if r.Case != "Offline_Appro" || r.N != 100 || r.Degraded {
+		t.Fatalf("Case/N/Degraded = %q/%d/%v", r.Case, r.N, r.Degraded)
+	}
+	if r.Iterations != 1353 || r.NsPerOp != 1633733 || r.BytesPerOp != 16417 || r.AllocsPerOp != 2 {
+		t.Fatalf("metrics = %+v", r)
+	}
+	if _, ok := parseLine("ok  \tmobisink/internal/solve\t7.9s"); ok {
+		t.Fatal("trailer accepted")
+	}
+	if _, ok := parseLine("goos: linux"); ok {
+		t.Fatal("header accepted")
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	in := `goos: linux
+BenchmarkSolvers/Offline_Appro/N=50-4    100    500 ns/op    16 B/op    2 allocs/op
+BenchmarkSolvers/Offline_Appro_Degraded-4   50   900 ns/op
+PASS
+`
+	results, err := parseAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d rows, want 2", len(results))
+	}
+	if !results[1].Degraded {
+		t.Fatal("degraded row not flagged")
+	}
+}
+
+func TestParseAllMergesRepeatedRows(t *testing.T) {
+	in := `BenchmarkSolvers/Offline_Appro/N=50-4    100    700 ns/op    32 B/op    4 allocs/op
+BenchmarkSolvers/Offline_Appro/N=50-4    120    500 ns/op    16 B/op    2 allocs/op
+BenchmarkSolvers/Offline_Appro/N=50-4    110    600 ns/op    24 B/op    3 allocs/op
+`
+	results, err := parseAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("merged to %d rows, want 1", len(results))
+	}
+	r := results[0]
+	if r.NsPerOp != 500 || r.BytesPerOp != 16 || r.AllocsPerOp != 2 || r.Iterations != 120 {
+		t.Fatalf("min-merge wrong: %+v", r)
+	}
+}
+
+func row(name string, ns float64, allocs int64) Result {
+	return Result{Name: name, NsPerOp: ns, AllocsPerOp: allocs, Iterations: 1}
+}
+
+func TestCompareResultsGate(t *testing.T) {
+	baseline := []Result{row("A", 1000, 10), row("B", 2000, 4)}
+
+	// Within threshold: no regressions, no refresh trigger.
+	regs, improved := compareResults(baseline, []Result{row("A", 1050, 10), row("B", 2100, 4)}, 10)
+	if len(regs) != 0 || improved {
+		t.Fatalf("within-threshold run: regs=%v improved=%v", regs, improved)
+	}
+
+	// ns/op regression beyond threshold fails.
+	regs, _ = compareResults(baseline, []Result{row("A", 1200, 10), row("B", 2000, 4)}, 10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
+		t.Fatalf("ns regression missed: %v", regs)
+	}
+
+	// allocs/op regression beyond threshold fails.
+	regs, _ = compareResults(baseline, []Result{row("A", 1000, 12), row("B", 2000, 4)}, 10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("alloc regression missed: %v", regs)
+	}
+
+	// A vanished baseline row fails.
+	regs, _ = compareResults(baseline, []Result{row("A", 1000, 10)}, 10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("missing row not flagged: %v", regs)
+	}
+
+	// A big improvement triggers the baseline refresh.
+	regs, improved = compareResults(baseline, []Result{row("A", 500, 10), row("B", 2000, 4)}, 10)
+	if len(regs) != 0 || !improved {
+		t.Fatalf("improvement run: regs=%v improved=%v", regs, improved)
+	}
+
+	// threshold <= 0: report-only — nothing fails and nothing triggers a
+	// baseline refresh (a 1-iteration sanity run must be side-effect free).
+	regs, improved = compareResults(baseline, []Result{row("A", 9000, 99)}, 0)
+	if len(regs) != 0 || improved {
+		t.Fatalf("report-only mode not side-effect free: regs=%v improved=%v", regs, improved)
+	}
+	regs, improved = compareResults(baseline, []Result{row("A", 1, 1)}, 0)
+	if len(regs) != 0 || improved {
+		t.Fatalf("report-only improvement still triggers refresh: regs=%v improved=%v", regs, improved)
+	}
+
+	// Zero-alloc baselines regress on any new allocation.
+	zb := []Result{row("Z", 100, 0)}
+	regs, _ = compareResults(zb, []Result{row("Z", 100, 1)}, 10)
+	if len(regs) != 1 {
+		t.Fatalf("0->1 alloc regression missed: %v", regs)
+	}
+}

@@ -33,6 +33,12 @@ type Options struct {
 	// Workers bounds component parallelism when Parallel is set;
 	// ≤ 0 means GOMAXPROCS.
 	Workers int
+	// MinParallelEntries is the window-component size (in GAP entries)
+	// below which Parallel falls back to the sequential sweep — fanning
+	// goroutines out over tiny components costs more than it saves. Zero
+	// selects gap.DefaultMinParallelEntries; negative disables the
+	// fallback. Only the compiled fast path honors it.
+	MinParallelEntries int
 }
 
 func (o Options) Solver(inst *Instance) knapsack.Solver {
@@ -135,6 +141,25 @@ func OfflineApproCtx(ctx context.Context, inst *Instance, opts Options) (*Alloca
 	if inst == nil {
 		return nil, errors.New("core: nil instance")
 	}
+	if opts.Knapsack == nil {
+		// Flat fast path: compile the GAP reduction once and sweep it with
+		// the structure-of-arrays kernels. Bit-identical to the legacy
+		// sweep below (see TestFlatMatchesLegacy).
+		c, err := CompileAppro(inst, opts)
+		if err != nil {
+			return nil, err
+		}
+		return c.Solve(ctx, opts)
+	}
+	return offlineApproLegacyCtx(ctx, inst, opts)
+}
+
+// offlineApproLegacyCtx is the pointer-y sweep over a freshly built
+// gap.Instance: the only remaining production caller is the custom-oracle
+// case (an opaque knapsack.Solver cannot be compiled), but it is also the
+// reference implementation the flat engine is differentially tested
+// against.
+func offlineApproLegacyCtx(ctx context.Context, inst *Instance, opts Options) (*Allocation, error) {
 	order := sensorOrder(inst)
 	g := buildGAP(inst, order)
 	var asg *gap.Assignment

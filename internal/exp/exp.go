@@ -186,26 +186,46 @@ func seedFor(base int64, n, trial int) int64 {
 	return int64(h & 0x7FFFFFFFFFFFFFFF)
 }
 
-// runCell executes all trials of one cell with bounded parallelism.
+// runCell executes all trials of one cell: every trial topology is built
+// with bounded parallelism, then each algorithm sweeps the whole cell
+// through solve.Batch — the flat engine compiles each instance once and
+// the work-stealing pool keeps workers busy across skewed instance sizes.
 func runCell(cfg Config, c cell) ([]Point, error) {
-	results := make([]trialResult, cfg.Trials)
-	_ = parallel.ForEach(cfg.Trials, cfg.Workers, func(t int) error {
-		results[t] = runTrial(cfg, c, t)
-		return results[t].err // surfaced below with trial context
-	})
+	insts := make([]*core.Instance, cfg.Trials)
+	ubs := make([]float64, cfg.Trials)
+	if err := parallel.ForEach(cfg.Trials, cfg.Workers, func(t int) error {
+		inst, err := buildTrial(cfg, c, t)
+		if err != nil {
+			return fmt.Errorf("exp: building n=%d trial %d: %w", c.n, t, err)
+		}
+		insts[t] = inst
+		ubs[t] = inst.UpperBound()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 
 	perAlg := make(map[string][]float64, len(c.algorithms))
 	perAlgFrac := make(map[string][]float64, len(c.algorithms))
-	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
+	for _, alg := range c.algorithms {
+		items, err := solve.Batch(context.Background(), alg, insts, solve.Options{}, cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("exp: unknown algorithm %q", alg)
 		}
-		for alg, bits := range r.bits {
-			perAlg[alg] = append(perAlg[alg], core.ThroughputMb(bits))
-			if r.ub > 0 {
-				perAlgFrac[alg] = append(perAlgFrac[alg], bits/r.ub)
+		for t, item := range items {
+			if item.Err != nil {
+				solverErrors.With(alg).Inc()
+				return nil, fmt.Errorf("exp: %s on n=%d trial %d: %w", alg, c.n, t, item.Err)
+			}
+			observeRun(alg, item.Alloc.Data, item.Elapsed)
+			perAlg[alg] = append(perAlg[alg], core.ThroughputMb(item.Alloc.Data))
+			if ubs[t] > 0 {
+				perAlgFrac[alg] = append(perAlgFrac[alg], item.Alloc.Data/ubs[t])
 			}
 		}
+	}
+	for t := 0; t < cfg.Trials; t++ {
+		trialsRun.Inc()
 	}
 	pts := make([]Point, 0, len(c.algorithms))
 	for _, alg := range c.algorithms {
@@ -224,32 +244,40 @@ func runCell(cfg Config, c cell) ([]Point, error) {
 	return pts, nil
 }
 
-// runTrial builds one topology and runs every algorithm of the cell on it.
-func runTrial(cfg Config, c cell, trial int) trialResult {
+// buildTrial constructs one trial's topology and instance (the
+// solver-independent half of a trial).
+func buildTrial(cfg Config, c cell, trial int) (*core.Instance, error) {
 	seed := seedFor(cfg.Seed, c.n, trial)
 	dep, err := network.Generate(network.Params{
 		N: c.n, PathLength: cfg.PathLength, MaxOffset: cfg.MaxOffset, Seed: seed,
 	})
 	if err != nil {
-		return trialResult{err: err}
+		return nil, err
 	}
 	h, err := energy.NewSolar(cfg.PanelAreaMM2, cfg.Condition, 1.0)
 	if err != nil {
-		return trialResult{err: err}
+		return nil, err
 	}
 	tourDur := cfg.PathLength / c.setting.Speed
 	rng := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
 	if err := dep.AssignSteadyStateBudgets(h, tourDur*cfg.Accrual, cfg.Jitter, rng); err != nil {
-		return trialResult{err: err}
+		return nil, err
 	}
 	var model radio.Model = radio.Paper2013()
 	if c.fixedPower {
 		model, err = radio.NewFixedPower(radio.Paper2013(), cfg.FixedPower)
 		if err != nil {
-			return trialResult{err: err}
+			return nil, err
 		}
 	}
-	inst, err := core.BuildInstance(dep, model, c.setting.Speed, c.setting.Tau)
+	return core.BuildInstance(dep, model, c.setting.Speed, c.setting.Tau)
+}
+
+// runTrial builds one topology and runs every algorithm of the cell on it
+// (the fault sweeps use this un-batched path: their per-trial fault plans
+// cannot share a compiled instance).
+func runTrial(cfg Config, c cell, trial int) trialResult {
+	inst, err := buildTrial(cfg, c, trial)
 	if err != nil {
 		return trialResult{err: err}
 	}

@@ -1,0 +1,435 @@
+package gap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"mobisink/internal/knapsack"
+	"mobisink/internal/parallel"
+)
+
+// Compiled is the structure-of-arrays form of an Instance: entries live in
+// contiguous bin-major CSR arrays, weights are pre-quantized for the exact
+// DP oracle, and the bin–item connected components are precomputed. It is
+// built once (validating the instance exactly once) and reused across
+// solver calls; Solve/SolveInto are safe for concurrent use.
+//
+// Entries that can never be assigned — non-positive profit, or weight
+// exceeding the bin capacity — are dropped at compile time; the local-ratio
+// sweep over the compiled form is bit-identical to the sweep over the
+// original instance, which filters them per call instead.
+type Compiled struct {
+	NumItems int
+
+	Off    []int32   // CSR bin offsets, len(Bins)+1
+	Item   []int32   // item index per entry
+	Profit []float64 // profit per entry
+	Weight []float64 // weight per entry
+	Cap    []float64 // capacity per bin
+
+	// Exact-DP oracle tables, present when Quantum > 0: WQ is the entry
+	// weight in quanta (rounded up, keeping every packing feasible), CapU
+	// the bin capacity in quanta (rounded down).
+	WQ   []int32
+	CapU []int32
+
+	Quantum float64 // weight quantum; > 0 selects the exact DP oracle
+	Eps     float64 // FPTAS accuracy, used when Quantum == 0
+
+	allBins     []int32   // [0, 1, …, len(Cap)-1]
+	comps       [][]int32 // connected components, ascending bins, ordered by smallest bin
+	compEntries []int32   // compiled entry count per component
+	maxBin      int       // max compiled entries in one bin
+}
+
+// DefaultMinParallelEntries is the component size (in compiled entries)
+// below which SolveOptions.Parallel falls back to the sequential sweep:
+// goroutine fan-out on tiny components costs more than it saves (the PR-3
+// parallel path lost to sequential for exactly this reason).
+const DefaultMinParallelEntries = 1024
+
+// SolveOptions tunes a Compiled solve.
+type SolveOptions struct {
+	// Parallel solves large connected components concurrently. The result
+	// is bit-identical to the sequential sweep (components share no items).
+	Parallel bool
+	// Workers bounds component parallelism when Parallel is set; ≤ 0 means
+	// GOMAXPROCS.
+	Workers int
+	// MinParallelEntries overrides the component size heuristic: components
+	// with fewer compiled entries are solved inline by the caller even when
+	// Parallel is set. 0 selects DefaultMinParallelEntries; negative
+	// disables the fallback (every component is fanned out).
+	MinParallelEntries int
+}
+
+// Compile builds the flat form of inst. quantum > 0 selects the exact
+// quantized-weight DP oracle; otherwise the (1−eps)-FPTAS oracle is used
+// (eps ≤ 0 means 0.1). The instance is validated here, once, instead of on
+// every solve.
+func Compile(inst *Instance, quantum, eps float64) (*Compiled, error) {
+	if inst == nil {
+		return nil, errors.New("gap: nil instance")
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if eps <= 0 {
+		eps = 0.1
+	}
+	b := len(inst.Bins)
+	c := &Compiled{
+		NumItems: inst.NumItems,
+		Off:      make([]int32, b+1),
+		Cap:      make([]float64, b),
+		Quantum:  quantum,
+		Eps:      eps,
+	}
+	total := 0
+	for i, bin := range inst.Bins {
+		c.Cap[i] = bin.Capacity
+		for _, e := range bin.Entries {
+			if keepEntry(e, bin.Capacity) {
+				total++
+			}
+		}
+		c.Off[i+1] = int32(total)
+	}
+	c.Item = make([]int32, total)
+	c.Profit = make([]float64, total)
+	c.Weight = make([]float64, total)
+	if quantum > 0 {
+		c.WQ = make([]int32, total)
+		c.CapU = make([]int32, b)
+	}
+	k := 0
+	for i, bin := range inst.Bins {
+		for _, e := range bin.Entries {
+			if !keepEntry(e, bin.Capacity) {
+				continue
+			}
+			c.Item[k] = int32(e.Item)
+			c.Profit[k] = e.Profit
+			c.Weight[k] = e.Weight
+			if quantum > 0 {
+				c.WQ[k] = quantize(e.Weight, quantum)
+			}
+			k++
+		}
+		if quantum > 0 {
+			c.CapU[i] = int32(min(math.Floor(bin.Capacity/quantum), math.MaxInt32))
+		}
+		if n := int(c.Off[i+1] - c.Off[i]); n > c.maxBin {
+			c.maxBin = n
+		}
+	}
+	c.allBins = make([]int32, b)
+	for i := range c.allBins {
+		c.allBins[i] = int32(i)
+	}
+	c.buildComponents()
+	return c, nil
+}
+
+func keepEntry(e Entry, capacity float64) bool {
+	return e.Profit > 0 && e.Weight <= capacity
+}
+
+// quantize rounds a weight up to whole quanta, exactly as the per-call DP
+// oracle has always done. Values beyond int32 are clamped — a DP table
+// that size could never be allocated anyway.
+func quantize(w, quantum float64) int32 {
+	return int32(min(math.Ceil(w/quantum-1e-9), math.MaxInt32))
+}
+
+// buildComponents unions bins sharing a compiled entry for the same item
+// (see Instance.Components; dropped dead entries can only split components
+// further, which preserves the disjointness the parallel solve needs).
+func (c *Compiled) buildComponents() {
+	b := len(c.Cap)
+	par := make([]int32, b)
+	for i := range par {
+		par[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for par[x] != x {
+			par[x] = par[par[x]]
+			x = par[x]
+		}
+		return x
+	}
+	itemBin := make([]int32, c.NumItems)
+	for j := range itemBin {
+		itemBin[j] = -1
+	}
+	for bin := 0; bin < b; bin++ {
+		for k := c.Off[bin]; k < c.Off[bin+1]; k++ {
+			j := c.Item[k]
+			if prev := itemBin[j]; prev >= 0 {
+				ra, rb := find(prev), find(int32(bin))
+				if ra != rb {
+					if ra > rb {
+						ra, rb = rb, ra
+					}
+					par[rb] = ra // root at the smallest bin
+				}
+			} else {
+				itemBin[j] = int32(bin)
+			}
+		}
+	}
+	sizes := make(map[int32]int32)
+	var roots []int32
+	for bin := 0; bin < b; bin++ {
+		r := find(int32(bin))
+		if _, ok := sizes[r]; !ok {
+			roots = append(roots, r)
+		}
+		sizes[r]++
+	}
+	groups := make(map[int32][]int32, len(roots))
+	for _, r := range roots {
+		groups[r] = make([]int32, 0, sizes[r])
+	}
+	for bin := 0; bin < b; bin++ {
+		r := find(int32(bin))
+		groups[r] = append(groups[r], int32(bin))
+	}
+	c.comps = make([][]int32, 0, len(roots))
+	c.compEntries = make([]int32, 0, len(roots))
+	for _, r := range roots { // roots appear in ascending bin order
+		bins := groups[r]
+		entries := int32(0)
+		for _, bin := range bins {
+			entries += c.Off[bin+1] - c.Off[bin]
+		}
+		c.comps = append(c.comps, bins)
+		c.compEntries = append(c.compEntries, entries)
+	}
+}
+
+// NumComponents reports how many connected components the compiled
+// instance decomposes into.
+func (c *Compiled) NumComponents() int { return len(c.comps) }
+
+// Scratch is the reusable per-solve state of a Compiled sweep: the
+// residual-claim array plus one worker's candidate buffers and knapsack
+// arena. The zero value is ready to use; buffers grow on demand and are
+// retained, so a reused Scratch makes the sequential sweep allocation-free
+// in steady state. A Scratch must not be used concurrently.
+type Scratch struct {
+	claim []float64
+	bs    binScratch
+}
+
+// binScratch is one worker's candidate staging area.
+type binScratch struct {
+	prof []float64
+	w    []float64
+	wq   []int32
+	pos  []int32
+	ar   knapsack.Arena
+}
+
+func (bs *binScratch) prepare(maxBin int, dpMode bool) {
+	if cap(bs.prof) < maxBin {
+		bs.prof = make([]float64, maxBin)
+		bs.pos = make([]int32, maxBin)
+	}
+	if dpMode {
+		if cap(bs.wq) < maxBin {
+			bs.wq = make([]int32, maxBin)
+		}
+	} else if cap(bs.w) < maxBin {
+		bs.w = make([]float64, maxBin)
+	}
+}
+
+var flatPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+var bsPool = sync.Pool{New: func() any { return new(binScratch) }}
+
+func putFlatScratch(s *Scratch) {
+	if cap(s.claim) > lrScratchMax {
+		s.claim = nil
+	}
+	s.bs.ar.Trim()
+	flatPool.Put(s)
+}
+
+// sweep runs the residual-profit local-ratio pass over the given bins,
+// claiming items into claim/itemBin. Bins outside the slice must not share
+// items with bins inside it (the component property).
+func (c *Compiled) sweep(ctx context.Context, bs *binScratch, claim []float64, itemBin []int32, bins []int32) error {
+	dpMode := c.Quantum > 0
+	bs.prepare(c.maxBin, dpMode)
+	for _, b := range bins {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lo, hi := c.Off[b], c.Off[b+1]
+		nc := 0
+		var picks []int32
+		var err error
+		if dpMode {
+			prof, wq, pos := bs.prof, bs.wq, bs.pos
+			for k := lo; k < hi; k++ {
+				j := c.Item[k]
+				res := c.Profit[k] - claim[j]
+				if res <= 0 {
+					continue // the knapsack would never take it
+				}
+				prof[nc], wq[nc], pos[nc] = res, c.WQ[k], k
+				nc++
+			}
+			picks, _, err = bs.ar.DPFlat(ctx, prof[:nc], wq[:nc], int(c.CapU[b]))
+		} else {
+			prof, w, pos := bs.prof, bs.w, bs.pos
+			for k := lo; k < hi; k++ {
+				j := c.Item[k]
+				res := c.Profit[k] - claim[j]
+				if res <= 0 {
+					continue
+				}
+				prof[nc], w[nc], pos[nc] = res, c.Weight[k], k
+				nc++
+			}
+			picks, _, err = bs.ar.FPTASFlat(ctx, c.Eps, prof[:nc], w[:nc], c.Cap[b])
+		}
+		if err != nil {
+			return err
+		}
+		for _, p := range picks {
+			k := bs.pos[p]
+			j := c.Item[k]
+			claim[j] = c.Profit[k]
+			itemBin[j] = b
+		}
+	}
+	return nil
+}
+
+// finalProfit is the paper's final decomposition pass: each item belongs
+// to the last bin that claimed it, and the total is accumulated in
+// bin-major entry order — the same float-summation order as the
+// per-instance sweep, so sequential and parallel solves agree bitwise.
+func (c *Compiled) finalProfit(itemBin []int32) float64 {
+	total := 0.0
+	for b := range c.Cap {
+		for k := c.Off[b]; k < c.Off[b+1]; k++ {
+			if itemBin[c.Item[k]] == int32(b) {
+				total += c.Profit[k]
+			}
+		}
+	}
+	return total
+}
+
+// SolveInto runs the local-ratio sweep over the compiled instance, writing
+// each item's owning bin into itemBin (-1 for unassigned; len must be
+// NumItems) and returning the assignment profit. s may be nil to draw
+// scratch from an internal pool; passing a reused Scratch makes the
+// sequential path allocation-free in steady state.
+func (c *Compiled) SolveInto(ctx context.Context, s *Scratch, itemBin []int32, opts SolveOptions) (float64, error) {
+	if len(itemBin) != c.NumItems {
+		return 0, fmt.Errorf("gap: itemBin covers %d items, instance has %d", len(itemBin), c.NumItems)
+	}
+	if s == nil {
+		s = flatPool.Get().(*Scratch)
+		defer putFlatScratch(s)
+	}
+	if cap(s.claim) < c.NumItems {
+		s.claim = make([]float64, c.NumItems)
+	}
+	s.claim = s.claim[:c.NumItems]
+	for i := range s.claim {
+		s.claim[i] = 0
+	}
+	for i := range itemBin {
+		itemBin[i] = -1
+	}
+	if err := c.runSweeps(ctx, s, itemBin, opts); err != nil {
+		return 0, err
+	}
+	return c.finalProfit(itemBin), nil
+}
+
+// runSweeps dispatches the sweep sequentially or across components.
+func (c *Compiled) runSweeps(ctx context.Context, s *Scratch, itemBin []int32, opts SolveOptions) error {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if !opts.Parallel || workers <= 1 || len(c.comps) <= 1 {
+		return c.sweep(ctx, &s.bs, s.claim, itemBin, c.allBins)
+	}
+	threshold := int32(opts.MinParallelEntries)
+	if threshold == 0 {
+		threshold = DefaultMinParallelEntries
+	}
+	// Partition components: small ones are swept inline as a single task
+	// (goroutine fan-out on them costs more than it saves), large ones go
+	// to the pool. Claims are written race-free because components share
+	// no items.
+	var small, large []int
+	for i, e := range c.compEntries {
+		if threshold > 0 && e < threshold {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	if len(large) == 0 || len(large)+minInt(len(small), 1) <= 1 {
+		return c.sweep(ctx, &s.bs, s.claim, itemBin, c.allBins)
+	}
+	tasks := make([][]int32, 0, len(large)+1)
+	if len(small) > 0 {
+		merged := make([]int32, 0, len(small)*2)
+		for _, i := range small {
+			merged = append(merged, c.comps[i]...)
+		}
+		tasks = append(tasks, merged)
+	}
+	for _, i := range large {
+		tasks = append(tasks, c.comps[i])
+	}
+	_, err := parallel.ForEachStealing(len(tasks), opts.Workers, func(t int) error {
+		bs := bsPool.Get().(*binScratch)
+		defer func() {
+			bs.ar.Trim()
+			bsPool.Put(bs)
+		}()
+		return c.sweep(ctx, bs, s.claim, itemBin, tasks[t])
+	})
+	if err != nil {
+		return firstError(err)
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Solve runs SolveInto with pooled scratch and materializes the result as
+// an Assignment.
+func (c *Compiled) Solve(ctx context.Context, opts SolveOptions) (*Assignment, error) {
+	itemBin := make([]int32, c.NumItems)
+	profit, err := c.SolveInto(ctx, nil, itemBin, opts)
+	if err != nil {
+		return nil, err
+	}
+	a := &Assignment{ItemBin: make([]int, c.NumItems), Profit: profit}
+	for j, b := range itemBin {
+		a.ItemBin[j] = int(b)
+	}
+	return a, nil
+}

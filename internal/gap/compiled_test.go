@@ -1,0 +1,206 @@
+package gap
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mobisink/internal/knapsack"
+)
+
+// windowedInstance builds a random instance whose bins see contiguous item
+// windows — the same structure the mobile-sink reduction produces, with a
+// controllable chance of multiple connected components.
+func windowedInstance(seed int64, bins, items int) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	inst := &Instance{NumItems: items}
+	for b := 0; b < bins; b++ {
+		start := rng.Intn(items)
+		width := 1 + rng.Intn(6)
+		bin := Bin{Capacity: 0.5 + rng.Float64()*3}
+		for j := start; j < start+width && j < items; j++ {
+			bin.Entries = append(bin.Entries, Entry{
+				Item:   j,
+				Profit: rng.Float64()*4 - 0.5, // some non-positive (dead) entries
+				Weight: rng.Float64() * 2,     // some above capacity
+			})
+		}
+		inst.Bins = append(inst.Bins, bin)
+	}
+	return inst
+}
+
+func TestCompileDropsDeadEntries(t *testing.T) {
+	inst := &Instance{
+		NumItems: 4,
+		Bins: []Bin{
+			{Capacity: 1, Entries: []Entry{
+				{Item: 0, Profit: 2, Weight: 0.5},
+				{Item: 1, Profit: 0, Weight: 0.1},  // profit ≤ 0: dead
+				{Item: 2, Profit: 3, Weight: 1.5},  // weight > cap: dead
+				{Item: 3, Profit: -1, Weight: 0.2}, // profit < 0: dead
+			}},
+			{Capacity: 2, Entries: []Entry{
+				{Item: 2, Profit: 1, Weight: 2},
+			}},
+		},
+	}
+	c, err := Compile(inst, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Off[len(c.Cap)]; got != 2 {
+		t.Fatalf("compiled %d entries, want 2 (dead entries dropped)", got)
+	}
+	if c.Item[0] != 0 || c.Item[1] != 2 {
+		t.Fatalf("compiled items %v, want [0 2]", c.Item[:2])
+	}
+	if c.NumItems != 4 {
+		t.Fatalf("NumItems %d, want 4 (dropping entries must not renumber items)", c.NumItems)
+	}
+	// Bins 0 and 1 only share the dead item-2 entry in bin 0… which was
+	// dropped, so they form two components.
+	if c.NumComponents() != 2 {
+		t.Fatalf("NumComponents %d, want 2", c.NumComponents())
+	}
+}
+
+func TestCompileRejectsInvalid(t *testing.T) {
+	bad := &Instance{NumItems: 1, Bins: []Bin{{Capacity: 1, Entries: []Entry{
+		{Item: 0, Profit: 1, Weight: 0.1},
+		{Item: 0, Profit: 2, Weight: 0.2},
+	}}}}
+	if _, err := Compile(bad, 0.1, 0); err == nil {
+		t.Fatal("Compile accepted a duplicate entry")
+	}
+	if _, err := Compile(nil, 0.1, 0); err == nil {
+		t.Fatal("Compile accepted a nil instance")
+	}
+}
+
+// TestCompiledMatchesLocalRatio checks the compiled sweep is bit-identical
+// to the legacy pointer-chasing LocalRatioCtx, in both oracle modes.
+func TestCompiledMatchesLocalRatio(t *testing.T) {
+	const quantum, eps = 0.05, 0.25
+	for seed := int64(0); seed < 25; seed++ {
+		inst := windowedInstance(seed, 3+int(seed%7), 12+int(seed%9))
+		for _, dpMode := range []bool{true, false} {
+			var legacySolve knapsack.SolverCtx
+			q, e := 0.0, eps
+			if dpMode {
+				q, e = quantum, 0
+				legacySolve = func(ctx context.Context, items []knapsack.Item, capacity float64) (knapsack.Solution, error) {
+					return knapsack.DPCtx(ctx, items, capacity, quantum)
+				}
+			} else {
+				legacySolve = knapsack.FPTASCtx(eps)
+			}
+			want, err := LocalRatioCtx(context.Background(), inst, legacySolve)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := Compile(inst, q, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Solve(context.Background(), SolveOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.ItemBin, want.ItemBin) {
+				t.Fatalf("seed %d dp=%v: ItemBin %v != legacy %v", seed, dpMode, got.ItemBin, want.ItemBin)
+			}
+			if got.Profit != want.Profit {
+				t.Fatalf("seed %d dp=%v: Profit %v != legacy %v (must be bit-identical)",
+					seed, dpMode, got.Profit, want.Profit)
+			}
+		}
+	}
+}
+
+// TestCompiledParallelMatchesSequential forces the component fan-out
+// (negative MinParallelEntries disables the small-component fallback,
+// Workers > 1 defeats the single-CPU fallback) and requires bitwise
+// equality with the sequential sweep.
+func TestCompiledParallelMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		inst := windowedInstance(100+seed, 8, 40) // wide: many components likely
+		c, err := Compile(inst, 0.05, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqBin := make([]int32, c.NumItems)
+		parBin := make([]int32, c.NumItems)
+		seqP, err := c.SolveInto(context.Background(), nil, seqBin, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parP, err := c.SolveInto(context.Background(), nil, parBin, SolveOptions{
+			Parallel: true, Workers: 4, MinParallelEntries: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seqBin, parBin) {
+			t.Fatalf("seed %d: parallel itemBin %v != sequential %v", seed, parBin, seqBin)
+		}
+		if seqP != parP {
+			t.Fatalf("seed %d: parallel profit %v != sequential %v", seed, parP, seqP)
+		}
+	}
+}
+
+func TestSolveIntoSizeMismatch(t *testing.T) {
+	c, err := Compile(windowedInstance(1, 3, 10), 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SolveInto(context.Background(), nil, make([]int32, 3), SolveOptions{}); err == nil {
+		t.Fatal("SolveInto accepted a short itemBin")
+	}
+}
+
+// TestSolveIntoNoAllocs is the steady-state gate for the serving path: a
+// reused Scratch and itemBin make the sequential compiled solve
+// allocation-free, in both oracle modes.
+func TestSolveIntoNoAllocs(t *testing.T) {
+	inst := windowedInstance(7, 12, 60)
+	for _, mode := range []struct {
+		name string
+		q    float64
+	}{{"dp", 0.05}, {"fptas", 0}} {
+		t.Run(mode.name, func(t *testing.T) {
+			c, err := Compile(inst, mode.q, 0.25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var s Scratch
+			itemBin := make([]int32, c.NumItems)
+			run := func() {
+				if _, err := c.SolveInto(context.Background(), &s, itemBin, SolveOptions{}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run() // warm scratch buffers
+			if n := testing.AllocsPerRun(50, run); n != 0 {
+				t.Fatalf("SolveInto allocates %v per run with reused scratch", n)
+			}
+		})
+	}
+}
+
+func TestCompiledSolveCanceled(t *testing.T) {
+	c, err := Compile(windowedInstance(3, 6, 30), 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Solve(ctx, SolveOptions{}); err == nil {
+		t.Fatal("Solve ignored canceled context")
+	}
+	if _, err := c.Solve(ctx, SolveOptions{Parallel: true, Workers: 4, MinParallelEntries: -1}); err == nil {
+		t.Fatal("parallel Solve ignored canceled context")
+	}
+}

@@ -42,15 +42,19 @@ type Instance struct {
 }
 
 // Validate checks index ranges, signs, and per-bin duplicate entries.
+// Duplicates are tracked with a single epoch-marked array instead of a
+// per-bin map — Validate runs on every legacy solve, and the map churn
+// used to dominate its cost.
 func (inst *Instance) Validate() error {
 	if inst.NumItems < 0 {
 		return fmt.Errorf("gap: negative item count %d", inst.NumItems)
 	}
+	seen := make([]int, inst.NumItems) // seen[j] == b+1 ⇔ bin b already lists item j
 	for b, bin := range inst.Bins {
 		if bin.Capacity < 0 {
 			return fmt.Errorf("gap: bin %d has negative capacity", b)
 		}
-		seen := make(map[int]bool, len(bin.Entries))
+		epoch := b + 1
 		for _, e := range bin.Entries {
 			if e.Item < 0 || e.Item >= inst.NumItems {
 				return fmt.Errorf("gap: bin %d references item %d out of range", b, e.Item)
@@ -58,10 +62,10 @@ func (inst *Instance) Validate() error {
 			if e.Weight < 0 {
 				return fmt.Errorf("gap: bin %d item %d has negative weight", b, e.Item)
 			}
-			if seen[e.Item] {
+			if seen[e.Item] == epoch {
 				return fmt.Errorf("gap: bin %d lists item %d twice", b, e.Item)
 			}
-			seen[e.Item] = true
+			seen[e.Item] = epoch
 		}
 	}
 	return nil

@@ -3,7 +3,6 @@ package knapsack
 import (
 	"context"
 	"math"
-	"sort"
 	"sync"
 )
 
@@ -28,59 +27,61 @@ func (s Solver) Ctx() SolverCtx {
 // between context polls; DP solvers poll once per item layer instead.
 const nodeCheckInterval = 4096
 
-// scratch is a reusable arena for DP tables: one float64 row and one flat
-// bool choice matrix. Pooled via scratchPool so the serving path does not
-// reallocate per request.
-type scratch struct {
-	f []float64
-	b []bool
+// arenaPool recycles flat-kernel arenas across the []Item entry points so
+// the serving path does not reallocate DP tables per request. Callers that
+// hold their own Arena (the compiled GAP sweep) bypass the pool entirely.
+var arenaPool = sync.Pool{New: func() any { return new(Arena) }}
+
+func getArena() *Arena { return arenaPool.Get().(*Arena) }
+
+func putArena(a *Arena) {
+	a.Trim()
+	arenaPool.Put(a)
 }
 
-// scratchMax bounds how large a buffer is returned to the pool; oversized
-// tables from a one-off huge instance are dropped instead of pinned.
-const scratchMax = 1 << 22
-
-var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
-
-func getScratch() *scratch { return scratchPool.Get().(*scratch) }
-
-func putScratch(s *scratch) {
-	if cap(s.f) > scratchMax {
-		s.f = nil
+// itemArrays splits items into the arena's parallel profit/weight buffers
+// so the flat kernels can run over them; candidate positions then coincide
+// with item indices.
+func (a *Arena) itemArrays(items []Item) (prof, wt []float64) {
+	n := len(items)
+	if cap(a.wprof) < n {
+		a.wprof = make([]float64, n)
 	}
-	if cap(s.b) > scratchMax {
-		s.b = nil
+	if cap(a.wwt) < n {
+		a.wwt = make([]float64, n)
 	}
-	scratchPool.Put(s)
+	prof, wt = a.wprof[:n], a.wwt[:n]
+	for i, it := range items {
+		prof[i] = it.Profit
+		wt[i] = it.Weight
+	}
+	return prof, wt
 }
 
-// floats returns a zeroed float64 slice of length n backed by the arena.
-func (s *scratch) floats(n int) []float64 {
-	if cap(s.f) < n {
-		s.f = make([]float64, n)
+// solutionOf materializes a kernel's ascending picks as a Solution,
+// summing profit and weight in ascending-index order (the historical
+// `finish` order, so totals stay bit-identical). remap, when non-nil,
+// translates candidate positions back to item indices.
+func solutionOf(items []Item, picks []int32, remap []int32) Solution {
+	if len(picks) == 0 {
+		return Solution{}
 	}
-	f := s.f[:n]
-	for i := range f {
-		f[i] = 0
+	s := Solution{Picked: make([]int, len(picks))}
+	for j, p := range picks {
+		i := int(p)
+		if remap != nil {
+			i = int(remap[p])
+		}
+		s.Picked[j] = i
+		s.Profit += items[i].Profit
+		s.Weight += items[i].Weight
 	}
-	return f
-}
-
-// bools returns a cleared bool slice of length n backed by the arena.
-func (s *scratch) bools(n int) []bool {
-	if cap(s.b) < n {
-		s.b = make([]bool, n)
-	}
-	b := s.b[:n]
-	for i := range b {
-		b[i] = false
-	}
-	return b
+	return s
 }
 
 // DPCtx is DP with cancellation: the context is polled once per item layer
-// and ctx.Err() is returned on expiry. The DP table and choice matrix come
-// from a shared sync.Pool arena.
+// and ctx.Err() is returned on expiry. The DP runs on the flat kernel over
+// a pooled arena.
 func DPCtx(ctx context.Context, items []Item, capacity float64, quantum float64) (Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return Solution{}, err
@@ -88,168 +89,58 @@ func DPCtx(ctx context.Context, items []Item, capacity float64, quantum float64)
 	if quantum <= 0 {
 		quantum = 1e-6
 	}
-	capQ := int(math.Floor(capacity / quantum))
-	if capQ < 0 {
+	capU := int(math.Floor(capacity / quantum))
+	if capU < 0 {
 		return Solution{}, nil
 	}
-	type qItem struct {
-		idx int
-		w   int
-		p   float64
-	}
-	var qItems []qItem
-	var free []int // zero-weight items are always packed
-	sumQ := 0
+	a := getArena()
+	defer putArena(a)
+	// Prefilter on the float feasibility rule and quantize; the kernel
+	// receives only viable candidates, in input order, so its ascending
+	// picks map back through wmap to ascending item indices.
+	prof := a.wprof[:0]
+	wq := a.wq[:0]
+	remap := a.wmap[:0]
 	for i, it := range items {
 		if !usable(it, capacity) {
 			continue
 		}
 		w := int(math.Ceil(it.Weight/quantum - 1e-9))
-		if w == 0 {
-			free = append(free, i)
+		if w > capU {
 			continue
 		}
-		if w > capQ {
-			continue
-		}
-		qItems = append(qItems, qItem{i, w, it.Profit})
-		sumQ += w
+		prof = append(prof, it.Profit)
+		wq = append(wq, int32(w))
+		remap = append(remap, int32(i))
 	}
-	// The DP table never needs more capacity than all usable items weigh
-	// in quantized units — this keeps the table small when the stored
-	// energy budget far exceeds what a visibility window can spend.
-	if capQ > sumQ {
-		capQ = sumQ
+	a.wprof, a.wq, a.wmap = prof, wq, remap
+	picks, _, err := a.DPFlat(ctx, prof, wq, capU)
+	if err != nil {
+		return Solution{}, err
 	}
-	sc := getScratch()
-	defer putScratch(sc)
-	width := capQ + 1
-	dp := sc.floats(width)
-	pick := sc.bools(len(qItems) * width) // row k is pick[k*width : (k+1)*width]
-	for k, qi := range qItems {
-		if err := ctx.Err(); err != nil {
-			return Solution{}, err
-		}
-		row := pick[k*width : (k+1)*width]
-		for w := capQ; w >= qi.w; w-- {
-			if cand := dp[w-qi.w] + qi.p; cand > dp[w] {
-				dp[w] = cand
-				row[w] = true
-			}
-		}
-	}
-	// Trace back.
-	w := capQ
-	var picked []int
-	for k := len(qItems) - 1; k >= 0; k-- {
-		if pick[k*width+w] {
-			picked = append(picked, qItems[k].idx)
-			w -= qItems[k].w
-		}
-	}
-	picked = append(picked, free...)
-	return finish(items, picked), nil
+	return solutionOf(items, picks, remap), nil
 }
 
 // BranchAndBoundCtx is BranchAndBound with cancellation: the context is
-// polled every nodeCheckInterval search nodes.
+// polled every nodeCheckInterval search nodes. Runs on the flat kernel
+// over a pooled arena.
 func BranchAndBoundCtx(ctx context.Context, items []Item, capacity float64) (Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return Solution{}, err
 	}
-	order := make([]int, 0, len(items))
-	for i, it := range items {
-		if usable(it, capacity) {
-			order = append(order, i)
-		}
+	a := getArena()
+	defer putArena(a)
+	prof, wt := a.itemArrays(items)
+	picks, _, err := a.BranchAndBoundFlat(ctx, prof, wt, capacity)
+	if err != nil {
+		return Solution{}, err
 	}
-	if len(order) == 0 {
-		return Solution{}, nil
-	}
-	sortByDensity(items, order)
-
-	// fracBound returns the LP relaxation value of packing order[k:] into
-	// the remaining capacity.
-	fracBound := func(k int, left float64) float64 {
-		bound := 0.0
-		for _, oi := range order[k:] {
-			it := items[oi]
-			if it.Weight <= left {
-				bound += it.Profit
-				left -= it.Weight
-			} else {
-				if it.Weight > 0 {
-					bound += it.Profit * left / it.Weight
-				}
-				break
-			}
-		}
-		return bound
-	}
-
-	bestProfit := -1.0
-	var bestSet []int
-	cur := make([]int, 0, len(order))
-	nodes := 0
-	canceled := false
-
-	var dfs func(k int, left, profit float64)
-	dfs = func(k int, left, profit float64) {
-		if canceled {
-			return
-		}
-		nodes++
-		if nodes%nodeCheckInterval == 0 && ctx.Err() != nil {
-			canceled = true
-			return
-		}
-		if profit > bestProfit {
-			bestProfit = profit
-			bestSet = append(bestSet[:0], cur...)
-		}
-		if k == len(order) {
-			return
-		}
-		if profit+fracBound(k, left)+1e-12 <= bestProfit {
-			return // cannot beat the incumbent
-		}
-		it := items[order[k]]
-		if it.Weight <= left {
-			cur = append(cur, order[k])
-			dfs(k+1, left-it.Weight, profit+it.Profit)
-			cur = cur[:len(cur)-1]
-		}
-		dfs(k+1, left, profit)
-	}
-	dfs(0, capacity, 0)
-	if canceled {
-		return Solution{}, context.Cause(ctx)
-	}
-	return finish(items, append([]int(nil), bestSet...)), nil
-}
-
-// sortByDensity orders item indices by decreasing profit/weight density
-// with index tie-breaks (shared by BranchAndBound and its ctx variant).
-func sortByDensity(items []Item, order []int) {
-	sort.Slice(order, func(a, b int) bool {
-		ia, ib := items[order[a]], items[order[b]]
-		da, db := math.Inf(1), math.Inf(1)
-		if ia.Weight > 0 {
-			da = ia.Profit / ia.Weight
-		}
-		if ib.Weight > 0 {
-			db = ib.Profit / ib.Weight
-		}
-		if da != db {
-			return da > db
-		}
-		return order[a] < order[b]
-	})
+	return solutionOf(items, picks, nil), nil
 }
 
 // FPTASCtx returns a SolverCtx with the same (1−ε)·OPT guarantee as FPTAS,
-// polling the context once per item layer of the profit-scaling DP and
-// drawing its tables from the shared scratch pool.
+// polling the context once per item layer of the profit-scaling DP. Runs
+// on the flat kernel over a pooled arena.
 func FPTASCtx(eps float64) SolverCtx {
 	if eps <= 0 || eps >= 1 {
 		panic("knapsack: FPTAS epsilon must be in (0,1)")
@@ -258,146 +149,30 @@ func FPTASCtx(eps float64) SolverCtx {
 		if err := ctx.Err(); err != nil {
 			return Solution{}, err
 		}
-		idxs := make([]int, 0, len(items))
-		pmax := 0.0
-		for i, it := range items {
-			if usable(it, capacity) {
-				idxs = append(idxs, i)
-				if it.Profit > pmax {
-					pmax = it.Profit
-				}
-			}
+		a := getArena()
+		defer putArena(a)
+		prof, wt := a.itemArrays(items)
+		picks, _, err := a.FPTASFlat(ctx, eps, prof, wt, capacity)
+		if err != nil {
+			return Solution{}, err
 		}
-		if len(idxs) == 0 {
-			return Solution{}, nil
-		}
-		n := len(idxs)
-		k := eps * pmax / float64(n)
-		// Scaled profits; each ≤ n/ε.
-		scaled := make([]int, n)
-		maxTotal := 0
-		for j, i := range idxs {
-			scaled[j] = int(math.Floor(items[i].Profit / k))
-			maxTotal += scaled[j]
-		}
-		const inf = math.MaxFloat64
-		sc := getScratch()
-		defer putScratch(sc)
-		width := maxTotal + 1
-		// minW[q] = minimal weight achieving scaled profit exactly q.
-		minW := sc.floats(width)
-		choice := sc.bools(n * width) // row j is choice[j*width : (j+1)*width]
-		for q := 1; q <= maxTotal; q++ {
-			minW[q] = inf
-		}
-		for j, i := range idxs {
-			if err := ctx.Err(); err != nil {
-				return Solution{}, err
-			}
-			row := choice[j*width : (j+1)*width]
-			w := items[i].Weight
-			for q := maxTotal; q >= scaled[j]; q-- {
-				if minW[q-scaled[j]] < inf {
-					if cand := minW[q-scaled[j]] + w; cand < minW[q] {
-						minW[q] = cand
-						row[q] = true
-					}
-				}
-			}
-		}
-		bestQ := 0
-		for q := maxTotal; q > 0; q-- {
-			if minW[q] <= capacity {
-				bestQ = q
-				break
-			}
-		}
-		var picked []int
-		q := bestQ
-		for j := n - 1; j >= 0 && q > 0; j-- {
-			if choice[j*width+q] {
-				picked = append(picked, idxs[j])
-				q -= scaled[j]
-			}
-		}
-		return finish(items, picked), nil
+		return solutionOf(items, picks, nil), nil
 	}
 }
 
 // MaxProfitUnderCtx is MaxProfitUnder with cancellation, polled once per
-// item layer of the minimum-weight DP.
+// item layer of the minimum-weight DP. Runs on the flat kernel over a
+// pooled arena.
 func MaxProfitUnderCtx(ctx context.Context, items []Item, capacity, profitCap, profitQuantum float64) (Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return Solution{}, err
 	}
-	if profitCap <= 0 {
-		return Solution{}, nil
+	a := getArena()
+	defer putArena(a)
+	prof, wt := a.itemArrays(items)
+	picks, _, err := a.MaxProfitUnderFlat(ctx, prof, wt, capacity, profitCap, profitQuantum)
+	if err != nil {
+		return Solution{}, err
 	}
-	if profitQuantum <= 0 {
-		profitQuantum = 1
-	}
-	idxs := make([]int, 0, len(items))
-	for i, it := range items {
-		if usable(it, capacity) && it.Profit >= profitQuantum {
-			idxs = append(idxs, i)
-		}
-	}
-	if len(idxs) == 0 {
-		return Solution{}, nil
-	}
-	sumQ := 0
-	scaled := make([]int, len(idxs))
-	for k, i := range idxs {
-		scaled[k] = int(math.Ceil(items[i].Profit/profitQuantum - 1e-9))
-		sumQ += scaled[k]
-	}
-	// Quantize the cap without overflowing int for huge/infinite caps.
-	capQ := sumQ
-	if ratio := profitCap / profitQuantum; ratio < float64(sumQ) {
-		capQ = int(math.Floor(ratio + 1e-9))
-	}
-	if capQ <= 0 {
-		return Solution{}, nil
-	}
-	const inf = math.MaxFloat64
-	sc := getScratch()
-	defer putScratch(sc)
-	width := capQ + 1
-	// minW[q] = minimum weight achieving quantized profit exactly q.
-	minW := sc.floats(width)
-	rows := sc.bools(len(idxs) * width)
-	for q := 1; q <= capQ; q++ {
-		minW[q] = inf
-	}
-	for k, i := range idxs {
-		if err := ctx.Err(); err != nil {
-			return Solution{}, err
-		}
-		row := rows[k*width : (k+1)*width]
-		w := items[i].Weight
-		for q := capQ; q >= scaled[k]; q-- {
-			if prev := minW[q-scaled[k]]; prev < inf {
-				if cand := prev + w; cand < minW[q] {
-					minW[q] = cand
-					row[q] = true
-				}
-			}
-		}
-	}
-	bestQ := 0
-	for q := capQ; q > 0; q-- {
-		if minW[q] <= capacity {
-			bestQ = q
-			break
-		}
-	}
-	var picked []int
-	q := bestQ
-	for k := len(idxs) - 1; k >= 0 && q > 0; k-- {
-		if rows[k*width+q] {
-			picked = append(picked, idxs[k])
-			q -= scaled[k]
-		}
-	}
-	return finish(items, picked), nil
+	return solutionOf(items, picks, nil), nil
 }

@@ -20,7 +20,7 @@ package knapsack
 import (
 	"context"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Item is one knapsack item.
@@ -45,19 +45,10 @@ func usable(it Item, capacity float64) bool {
 	return it.Profit > 0 && it.Weight >= 0 && it.Weight <= capacity
 }
 
-func finish(items []Item, picked []int) Solution {
-	sort.Ints(picked)
-	s := Solution{Picked: picked}
-	for _, i := range picked {
-		s.Profit += items[i].Profit
-		s.Weight += items[i].Weight
-	}
-	return s
-}
-
 // Greedy packs items in decreasing profit/weight density and returns the
 // better of the greedy packing and the single best item — the classic
-// 1/2-approximation.
+// 1/2-approximation. Picks are emitted already ordered (a mark array scan
+// instead of a post-hoc sort) with running profit/weight totals.
 func Greedy(items []Item, capacity float64) Solution {
 	type cand struct {
 		idx     int
@@ -81,26 +72,43 @@ func Greedy(items []Item, capacity float64) Solution {
 	if best < 0 {
 		return Solution{}
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].density != cands[b].density {
-			return cands[a].density > cands[b].density
+	slices.SortFunc(cands, func(a, b cand) int {
+		if a.density != b.density {
+			if a.density > b.density {
+				return -1
+			}
+			return 1
 		}
-		return cands[a].idx < cands[b].idx
+		return a.idx - b.idx
 	})
-	var picked []int
+	taken := make([]bool, len(items))
 	left := capacity
 	total := 0.0
+	count := 0
 	for _, c := range cands {
 		if items[c.idx].Weight <= left {
-			picked = append(picked, c.idx)
+			taken[c.idx] = true
 			left -= items[c.idx].Weight
 			total += items[c.idx].Profit
+			count++
 		}
 	}
-	if total >= items[best].Profit {
-		return finish(items, picked)
+	if total < items[best].Profit {
+		return Solution{
+			Picked: []int{best},
+			Profit: items[best].Profit,
+			Weight: items[best].Weight,
+		}
 	}
-	return finish(items, []int{best})
+	s := Solution{Picked: make([]int, 0, count)}
+	for i, t := range taken {
+		if t {
+			s.Picked = append(s.Picked, i)
+			s.Profit += items[i].Profit
+			s.Weight += items[i].Weight
+		}
+	}
+	return s
 }
 
 // BranchAndBound solves the knapsack exactly by depth-first search over

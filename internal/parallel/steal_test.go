@@ -1,0 +1,99 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachStealingRunsEveryIndexOnce(t *testing.T) {
+	const n = 1000
+	counts := make([]int32, n)
+	stats, err := ForEachStealing(n, 8, func(i int) error {
+		atomic.AddInt32(&counts[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+	if stats.Tasks != n {
+		t.Fatalf("stats.Tasks = %d, want %d", stats.Tasks, n)
+	}
+	if stats.Steals < 0 || stats.Steals > n {
+		t.Fatalf("stats.Steals = %d out of range", stats.Steals)
+	}
+}
+
+func TestForEachStealingSmallAndEmpty(t *testing.T) {
+	if stats, err := ForEachStealing(0, 4, func(int) error { t.Fatal("ran"); return nil }); err != nil || stats.Tasks != 0 {
+		t.Fatalf("n=0: stats=%+v err=%v", stats, err)
+	}
+	ran := false
+	if _, err := ForEachStealing(1, 0, func(i int) error { ran = true; return nil }); err != nil || !ran {
+		t.Fatalf("n=1 workers=0: ran=%v err=%v", ran, err)
+	}
+}
+
+// TestForEachStealingStealsUnderSkew gives the first worker's chunk all
+// the slow tasks; the other workers must steal from it.
+func TestForEachStealingStealsUnderSkew(t *testing.T) {
+	const n, workers = 64, 4
+	var ran atomic.Int32
+	stats, err := ForEachStealing(n, workers, func(i int) error {
+		if i < n/workers {
+			time.Sleep(2 * time.Millisecond) // first chunk is slow
+		}
+		ran.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(ran.Load()) != n {
+		t.Fatalf("ran %d of %d tasks", ran.Load(), n)
+	}
+	if stats.Steals == 0 {
+		t.Fatal("no steals under a maximally skewed chunk")
+	}
+}
+
+func TestForEachStealingJoinsErrorsInIndexOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	_, err := ForEachStealing(10, 3, func(i int) error {
+		switch i {
+		case 2:
+			return errA
+		case 7:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("joined error %v missing a task error", err)
+	}
+}
+
+func TestForEachStealingRecoversPanic(t *testing.T) {
+	var ran atomic.Int32
+	_, err := ForEachStealing(20, 4, func(i int) error {
+		if i == 5 {
+			panic(fmt.Sprintf("task %d exploded", i))
+		}
+		ran.Add(1)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic was swallowed without an error")
+	}
+	if ran.Load() != 19 {
+		t.Fatalf("panic stopped siblings: only %d of 19 clean tasks ran", ran.Load())
+	}
+}

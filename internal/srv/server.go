@@ -15,6 +15,7 @@ import (
 	"mobisink/internal/cache"
 	"mobisink/internal/jobs"
 	"mobisink/internal/metrics"
+	"mobisink/internal/solve"
 )
 
 // Config sizes the service's concurrency and memory knobs; zero values
@@ -419,6 +420,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("batch needs at least one request"))
 		return
 	}
+	solve.ObserveBatchSize(len(br.Requests))
 	// Fan the batch across the shared pool as ordinary jobs, so batch
 	// work obeys the same backpressure as /v1/jobs: if the queue cannot
 	// hold the whole batch, roll back and reject with 429 rather than
