@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-metrics test-fault test-race vet check bench bench-all bench-compare bench-compare-short cover experiments examples clean
+.PHONY: all build test test-metrics test-fault test-wire test-race vet check bench bench-all bench-compare bench-compare-short cover experiments examples clean fuzz-wire
 
 all: build vet test
 
@@ -21,8 +21,23 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/solve ./internal/gap
 
-test: check test-metrics test-fault bench-compare-short
+test: check test-metrics test-fault test-wire bench-compare-short
 	$(GO) test ./...
+
+# Wire-transport gate: formatting and vet on the framing/server/client/
+# chaos-proxy layer, then the whole loopback end-to-end suite (including
+# the byte-parity keystone and the chaos tours) under the race detector.
+# Part of the default `test` target.
+test-wire:
+	@out=$$(gofmt -l internal/wire cmd/sinkd); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./internal/wire ./cmd/sinkd
+	$(GO) test -race ./internal/wire ./cmd/sinkd
+
+# Short fuzz pass over the strict frame decoder (no input may panic,
+# over-read, or break round-trip symmetry).
+fuzz-wire:
+	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime 30s ./internal/wire
 
 # Robustness gate: the fault-injection layer, the self-healing online
 # protocol, and the hardened serving path under the race detector

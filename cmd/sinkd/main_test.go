@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+// TestDemoTour runs the full loopback demo — sink server, sensor fleet,
+// one tour — on a small instance and checks it completes cleanly
+// (run itself performs the in-process parity comparison).
+func TestDemoTour(t *testing.T) {
+	cfg := config{
+		addr: "127.0.0.1:0", algo: "greedy",
+		n: 30, seed: 3, pathLen: 1200, offset: 40, speed: 5, tau: 1,
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDemoTourChaos runs the demo with the chaos proxy interposed.
+func TestDemoTourChaos(t *testing.T) {
+	cfg := config{
+		addr: "127.0.0.1:0", algo: "appro",
+		n: 20, seed: 4, pathLen: 800, offset: 40, speed: 5, tau: 1,
+		chaos: 0.2, retries: 2, window: 50_000_000, // 50ms
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildInstanceRejectsBadParams(t *testing.T) {
+	if _, err := buildInstance(config{n: -1, pathLen: 800, offset: 40, speed: 5, tau: 1, seed: 1}); err == nil {
+		t.Fatal("expected error for negative sensor count")
+	}
+}
+
+func TestUnknownScheduler(t *testing.T) {
+	cfg := config{addr: "127.0.0.1:0", algo: "nope", n: 5, seed: 1, pathLen: 400, offset: 40, speed: 5, tau: 1}
+	if err := run(cfg); err == nil {
+		t.Fatal("expected unknown-scheduler error")
+	}
+}

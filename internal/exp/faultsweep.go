@@ -27,6 +27,8 @@ type FaultPoint struct {
 	Repaired  float64       // mean slots reassigned away from silent sensors
 	Lost      float64       // mean slots gone idle despite repair attempts
 	Clamps    float64       // mean stale-budget clamps (feasibility guard)
+	Retx      float64       // mean extra Probe broadcasts (retransmission rounds)
+	RepairTx  float64       // mean unicast schedule-repair messages sent
 }
 
 // FaultTable aggregates the sweep.
@@ -82,7 +84,7 @@ func FaultSweep(cfg Config) (*FaultTable, error) {
 
 	for _, rate := range rates {
 		var mbs, fracs, bares []float64
-		var repaired, lost, clamps float64
+		var repaired, lost, clamps, retx, repairTx float64
 		for trial := 0; trial < cfg.Trials; trial++ {
 			inst := insts[trial]
 			seed := seedFor(cfg.Seed, n, trial)
@@ -118,6 +120,8 @@ func FaultSweep(cfg Config) (*FaultTable, error) {
 			repaired += float64(res.Fault.RepairedSlots)
 			lost += float64(res.Fault.LostSlots)
 			clamps += float64(res.Fault.BudgetClamps)
+			retx += float64(res.Messages.Retransmits)
+			repairTx += float64(res.Messages.RepairUnicasts)
 		}
 		sum, err := stats.Summarize(mbs)
 		if err != nil {
@@ -130,6 +134,8 @@ func FaultSweep(cfg Config) (*FaultTable, error) {
 			Repaired:  repaired / float64(cfg.Trials),
 			Lost:      lost / float64(cfg.Trials),
 			Clamps:    clamps / float64(cfg.Trials),
+			Retx:      retx / float64(cfg.Trials),
+			RepairTx:  repairTx / float64(cfg.Trials),
 		})
 	}
 	return tbl, nil
@@ -157,7 +163,8 @@ func faultPlan(rate float64, seed int64, slots, sensors int) fault.Plan {
 func (t *FaultTable) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"rate", "n", "throughput_mb_mean", "throughput_mb_ci95",
-		"fraction_of_ideal", "fraction_no_recovery", "repaired_slots", "lost_slots", "budget_clamps"}); err != nil {
+		"fraction_of_ideal", "fraction_no_recovery", "repaired_slots", "lost_slots", "budget_clamps",
+		"probe_retransmits", "repair_unicasts"}); err != nil {
 		return err
 	}
 	for _, p := range t.Points {
@@ -167,6 +174,7 @@ func (t *FaultTable) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%.4f", p.FracIdeal), fmt.Sprintf("%.4f", p.FracBare),
 			fmt.Sprintf("%.1f", p.Repaired), fmt.Sprintf("%.1f", p.Lost),
 			fmt.Sprintf("%.1f", p.Clamps),
+			fmt.Sprintf("%.1f", p.Retx), fmt.Sprintf("%.1f", p.RepairTx),
 		}); err != nil {
 			return err
 		}
@@ -178,12 +186,12 @@ func (t *FaultTable) WriteCSV(w io.Writer) error {
 // Render prints the fault table.
 func (t *FaultTable) Render(w io.Writer) error {
 	fmt.Fprintln(w, "== faults: Online_Appro under message loss and sensor crashes (n=300) ==")
-	fmt.Fprintf(w, "%6s %6s %14s %10s %10s %9s %6s %7s\n",
-		"rate", "n", "Mb/tour", "recovered", "bare", "repaired", "lost", "clamps")
+	fmt.Fprintf(w, "%6s %6s %14s %10s %10s %9s %6s %7s %6s %8s\n",
+		"rate", "n", "Mb/tour", "recovered", "bare", "repaired", "lost", "clamps", "retx", "repairTx")
 	for _, p := range t.Points {
-		fmt.Fprintf(w, "%6g %6d %8.2f ±%4.2f %9.1f%% %9.1f%% %9.1f %6.1f %7.1f\n",
+		fmt.Fprintf(w, "%6g %6d %8.2f ±%4.2f %9.1f%% %9.1f%% %9.1f %6.1f %7.1f %6.1f %8.1f\n",
 			p.Rate, p.N, p.Mb.Mean, p.Mb.CI95, 100*p.FracIdeal, 100*p.FracBare,
-			p.Repaired, p.Lost, p.Clamps)
+			p.Repaired, p.Lost, p.Clamps, p.Retx, p.RepairTx)
 	}
 	return nil
 }

@@ -36,6 +36,11 @@ const (
 	KindSchedule
 	KindFinish
 	KindStall
+	// KindDelay and KindReorder are consumed by network transports
+	// (internal/wire's chaos proxy) to derive per-frame latency and
+	// reordering decisions from the same seed as the drop rolls.
+	KindDelay
+	KindReorder
 )
 
 // Crash is one sensor outage: the sensor is dead (no Acks, no data
@@ -385,6 +390,15 @@ func (in *Injector) Deficit(sensor, uptoSlot int) float64 {
 		total += s.Joules
 	}
 	return total
+}
+
+// Unit exposes the injector's deterministic hash stream: a value in
+// [0, 1) that is a pure function of (seed, kind, a, b, c). Network
+// transports use it for decisions with no Bernoulli shape — e.g. the
+// chaos proxy scales Unit(KindDelay, ...) into a per-frame latency —
+// so every layer of a chaotic run reproduces from the one plan seed.
+func (in *Injector) Unit(kind Kind, a, b, c int) float64 {
+	return unit(in.plan.Seed, kind, a, b, c)
 }
 
 // roll is one Bernoulli trial: true with probability prob, deterministic

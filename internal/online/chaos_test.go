@@ -198,8 +198,13 @@ func TestRetransmissionRecovers(t *testing.T) {
 	if four.Fault.ProbeRetransmissions == 0 {
 		t.Error("no retransmission rounds recorded")
 	}
-	if four.Messages.Probes <= none.Messages.Probes {
-		t.Errorf("retransmissions are not free: %d probes vs %d", four.Messages.Probes, none.Messages.Probes)
+	if four.Messages.Retransmits != four.Fault.ProbeRetransmissions {
+		t.Errorf("message stats count %d retransmits, fault stats %d rounds",
+			four.Messages.Retransmits, four.Fault.ProbeRetransmissions)
+	}
+	if four.Messages.Total() <= none.Messages.Total() {
+		t.Errorf("retransmissions are not free: %d total messages vs %d",
+			four.Messages.Total(), none.Messages.Total())
 	}
 }
 

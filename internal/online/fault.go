@@ -132,10 +132,14 @@ func runIntervalFaulty(ctx context.Context, eng *sim.Engine, inst *core.Instance
 			}
 			break
 		}
+		// Retransmit rounds are tallied apart from the paper's per-interval
+		// probe so MessageStats separates baseline from recovery traffic.
 		if attempt > 0 {
 			st.ProbeRetransmissions++
+			eng.Count("probe-retransmit", 1)
+		} else {
+			eng.Count("probe", 1)
 		}
-		eng.Count("probe", 1)
 		var hearers []int
 		for _, i := range pending {
 			if !inj.ProbeHeard(iv.Index, i, attempt) {
@@ -219,7 +223,7 @@ func runIntervalFaulty(ctx context.Context, eng *sim.Engine, inst *core.Instance
 		return fmt.Errorf("online: interval %d: %w", iv.Index, err)
 	}
 	eng.Count("schedule", 1)
-	if err := commitFaulty(inst, iv, regs, assign, res, fs); err != nil {
+	if err := commitFaulty(eng, inst, iv, regs, assign, res, fs); err != nil {
 		return fmt.Errorf("online: interval %d: %w", iv.Index, err)
 	}
 
@@ -269,7 +273,7 @@ func (fs *faultState) schedule(ctx context.Context, inst *core.Instance, sched S
 // planned or repaired — re-checks the energy and data budgets so nothing
 // overdraws. On a quiet interval (nothing fired) it commits exactly what
 // applyAssignment would.
-func commitFaulty(inst *core.Instance, iv Interval, regs []Registration, assign map[int]int, res *Result, fs *faultState) error {
+func commitFaulty(eng *sim.Engine, inst *core.Instance, iv Interval, regs []Registration, assign map[int]int, res *Result, fs *faultState) error {
 	inj, st := fs.inj, fs.stats
 	regOf := make(map[int]*Registration, len(regs))
 	for k := range regs {
@@ -343,7 +347,12 @@ func commitFaulty(inst *core.Instance, iv Interval, regs []Registration, assign 
 				best, bestRate = i, rate
 			}
 		}
-		if best < 0 || inj.RepairLost(iv.Index, best, slot) {
+		if best < 0 {
+			st.LostSlots++
+			return
+		}
+		eng.Count("repair", 1) // the unicast is sent whether or not it lands
+		if inj.RepairLost(iv.Index, best, slot) {
 			st.LostSlots++
 			return
 		}

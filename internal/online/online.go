@@ -68,14 +68,25 @@ type Scheduler interface {
 
 // MessageStats counts protocol messages per tour.
 type MessageStats struct {
-	Probes    int // broadcast probes (one per interval)
+	Probes    int // broadcast probes (one per interval, the paper's exchange)
 	Acks      int // sensor acknowledgements
 	Schedules int // broadcast scheduling results
 	Finishes  int // broadcast finish messages
+	// Retransmits counts the extra Probe broadcasts of the recovery
+	// protocol's registration rounds beyond the paper's single exchange
+	// (always 0 on fault-free runs).
+	Retransmits int
+	// RepairUnicasts counts the unicast schedule-repair messages that
+	// reassign a silent sensor's slot to a replacement (always 0 on
+	// fault-free runs).
+	RepairUnicasts int
 }
 
-// Total returns all messages sent per tour.
-func (m MessageStats) Total() int { return m.Probes + m.Acks + m.Schedules + m.Finishes }
+// Total returns all messages sent per tour, including the recovery
+// traffic (retransmitted probes and repair unicasts).
+func (m MessageStats) Total() int {
+	return m.Probes + m.Acks + m.Schedules + m.Finishes + m.Retransmits + m.RepairUnicasts
+}
 
 // Result is the outcome of one simulated tour.
 type Result struct {
@@ -260,10 +271,12 @@ func RunCtx(ctx context.Context, inst *core.Instance, sched Scheduler, opts Opti
 		return nil, schedErr
 	}
 	res.Messages = MessageStats{
-		Probes:    eng.Counter("probe"),
-		Acks:      eng.Counter("ack"),
-		Schedules: eng.Counter("schedule"),
-		Finishes:  eng.Counter("finish"),
+		Probes:         eng.Counter("probe"),
+		Acks:           eng.Counter("ack"),
+		Schedules:      eng.Counter("schedule"),
+		Finishes:       eng.Counter("finish"),
+		Retransmits:    eng.Counter("probe-retransmit"),
+		RepairUnicasts: eng.Counter("repair"),
 	}
 	inst.RecomputeData(res.Alloc)
 	res.Data = res.Alloc.Data
@@ -342,6 +355,15 @@ func runInterval(ctx context.Context, eng *sim.Engine, inst *core.Instance, sche
 	return eng.Schedule(finishAt, fmt.Sprintf("finish-%d", iv.Index), func(float64) {
 		eng.Count("finish", 1)
 	})
+}
+
+// ApplyAssignment validates a scheduler's output against the protocol
+// rules and commits it to the tour allocation and residual budgets. It is
+// the single commit path shared by the in-process runner and the wire
+// transport (internal/wire), so a sink server debits budgets — including
+// the floating-point accumulation order — exactly as RunCtx does.
+func ApplyAssignment(inst *core.Instance, iv Interval, regs []Registration, assign map[int]int, res *Result) error {
+	return applyAssignment(inst, iv, regs, assign, res)
 }
 
 // applyAssignment validates a scheduler's output against the protocol rules

@@ -1,0 +1,43 @@
+package solve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSchedulerResolvesAllNames(t *testing.T) {
+	for _, name := range SchedulerNames() {
+		s, err := NewScheduler(name, Options{})
+		if err != nil {
+			t.Fatalf("NewScheduler(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("NewScheduler(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if len(SchedulerNames()) != len(schedulerFactories) {
+		t.Errorf("SchedulerNames() lists %d of %d factories", len(SchedulerNames()), len(schedulerFactories))
+	}
+}
+
+func TestNewSchedulerCaseAndPrefix(t *testing.T) {
+	for _, alias := range []string{"Online_Appro", "online_appro", "APPRO", "appro"} {
+		s, err := NewScheduler(alias, Options{})
+		if err != nil {
+			t.Fatalf("NewScheduler(%q): %v", alias, err)
+		}
+		if s.Name() != "Online_Appro" {
+			t.Errorf("NewScheduler(%q).Name() = %q, want Online_Appro", alias, s.Name())
+		}
+	}
+}
+
+func TestNewSchedulerUnknown(t *testing.T) {
+	_, err := NewScheduler("definitely-not-a-scheduler", Options{})
+	if err == nil {
+		t.Fatal("expected error for unknown scheduler")
+	}
+	if !strings.Contains(err.Error(), "Online_Appro") {
+		t.Errorf("error should list the known schedulers, got: %v", err)
+	}
+}

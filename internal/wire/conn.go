@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Conn frames protocol messages over a net.Conn. Reads are buffered;
+// writes are serialized by a mutex and land as a single Write per frame
+// so concurrent writers (the sink's broadcast path vs. a repair unicast)
+// never interleave bytes. A Conn tracks the frames-sent/received
+// counters per message type.
+type Conn struct {
+	raw net.Conn
+	br  *bufio.Reader
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	rbuf []byte
+}
+
+// NewConn wraps a transport connection.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{raw: c, br: bufio.NewReader(c)}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// RemoteAddr reports the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
+
+// WriteMsg encodes and sends one message.
+func (c *Conn) WriteMsg(m Msg) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	buf, err := AppendFrame(c.wbuf[:0], m)
+	if err != nil {
+		return err
+	}
+	c.wbuf = buf
+	if _, err := c.raw.Write(buf); err != nil {
+		return err
+	}
+	framesSent.With(m.Type().String()).Inc()
+	return nil
+}
+
+// ReadMsg reads and decodes the next message. The returned message does
+// not alias the read buffer. Decode failures increment the decode-error
+// counter; transport errors (EOF, closed conn) pass through untouched.
+func (c *Conn) ReadMsg() (Msg, error) {
+	payload, err := ReadFrame(c.br, c.rbuf)
+	if err != nil {
+		return nil, err
+	}
+	c.rbuf = payload
+	m, err := Decode(payload)
+	if err != nil {
+		decodeErrors.Inc()
+		return nil, err
+	}
+	framesReceived.With(m.Type().String()).Inc()
+	return m, nil
+}
+
+// ClientHandshake sends the sensor's Hello and validates the sink's.
+func (c *Conn) ClientHandshake(sensor int) error {
+	if err := c.WriteMsg(&Hello{Version: Version, Role: RoleSensor, Sensor: sensor}); err != nil {
+		return err
+	}
+	m, err := c.ReadMsg()
+	if err != nil {
+		return err
+	}
+	h, ok := m.(*Hello)
+	if !ok {
+		return fmt.Errorf("%w: want hello, got %s", ErrBadField, m.Type())
+	}
+	if h.Role != RoleSink {
+		return fmt.Errorf("%w: peer is not a sink", ErrBadField)
+	}
+	return nil
+}
+
+// ServerHandshake reads the sensor's Hello, answers with the sink's, and
+// returns the sensor index.
+func (c *Conn) ServerHandshake() (int, error) {
+	m, err := c.ReadMsg()
+	if err != nil {
+		return 0, err
+	}
+	h, ok := m.(*Hello)
+	if !ok {
+		return 0, fmt.Errorf("%w: want hello, got %s", ErrBadField, m.Type())
+	}
+	if h.Role != RoleSensor || h.Sensor < 0 {
+		return 0, fmt.Errorf("%w: peer is not a sensor (role %d, id %d)", ErrBadField, h.Role, h.Sensor)
+	}
+	if err := c.WriteMsg(&Hello{Version: Version, Role: RoleSink, Sensor: -1}); err != nil {
+		return 0, err
+	}
+	return h.Sensor, nil
+}

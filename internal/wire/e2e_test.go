@@ -1,0 +1,283 @@
+package wire
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"mobisink/internal/core"
+	"mobisink/internal/energy"
+	"mobisink/internal/fault"
+	"mobisink/internal/network"
+	"mobisink/internal/online"
+	"mobisink/internal/radio"
+)
+
+// shortInstance builds a small tour (a few hundred slots) so a full
+// over-the-wire tour stays fast under -race.
+func shortInstance(t *testing.T, n int, pathLen float64, seed int64) *core.Instance {
+	t.Helper()
+	d, err := network.Generate(network.Params{N: n, PathLength: pathLen, MaxOffset: 40, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Paper-scale accrual (a full 10 km tour's worth) regardless of the
+	// shortened path, so budgets afford enough slots to exercise the
+	// schedulers.
+	if err := d.AssignSteadyStateBudgets(energy.PaperSolar(energy.Sunny), 2000, 0.2, rng); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := core.BuildInstance(d, radio.Paper2013(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// fleet is a set of sensor clients running against a sink (directly or
+// through a chaos proxy).
+type fleet struct {
+	clients []*SensorClient
+	errs    chan error
+}
+
+// launchFleet dials one client per sensor and runs their protocol loops.
+func launchFleet(t *testing.T, addr string, inst *core.Instance, inj *fault.Injector) *fleet {
+	t.Helper()
+	fl := &fleet{errs: make(chan error, len(inst.Sensors))}
+	for i := range inst.Sensors {
+		cfg := SensorConfigFor(inst, i)
+		cfg.Faults = inj
+		c, err := DialSensor(addr, cfg)
+		if err != nil {
+			t.Fatalf("dial sensor %d: %v", i, err)
+		}
+		fl.clients = append(fl.clients, c)
+		go func() { fl.errs <- c.Run(context.Background()) }()
+	}
+	return fl
+}
+
+// join waits for every client loop to exit cleanly.
+func (fl *fleet) join(t *testing.T) {
+	t.Helper()
+	for range fl.clients {
+		select {
+		case err := <-fl.errs:
+			if err != nil {
+				t.Errorf("sensor client: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("sensor clients did not exit after sink close")
+		}
+	}
+}
+
+// wireTour runs one tour over loopback TCP and returns the sink's result
+// plus the fleet (already joined, for client-side assertions).
+func wireTour(t *testing.T, inst *core.Instance, sched online.Scheduler, rec *Recovery, chaos *ChaosConfig) (*online.Result, *fleet, ChaosStats) {
+	t.Helper()
+	sink, err := NewSink(SinkConfig{Inst: inst, Scheduler: sched, Recovery: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	addr := sink.Addr()
+	var proxy *ChaosProxy
+	var inj *fault.Injector
+	if chaos != nil {
+		proxy, err = NewChaosProxy(addr, *chaos, len(inst.Sensors), inst.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer proxy.Close()
+		addr = proxy.Addr()
+		inj, err = fault.NewInjector(chaos.Plan, len(inst.Sensors), inst.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	fl := launchFleet(t, addr, inst, inj)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := sink.WaitSensors(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sink.RunTour(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Close()
+	if proxy != nil {
+		proxy.Close()
+	}
+	fl.join(t)
+	var cs ChaosStats
+	if proxy != nil {
+		cs = proxy.Stats()
+	}
+	return res, fl, cs
+}
+
+// TestLoopbackParity is the keystone correctness check: a zero-fault
+// tour over real TCP must be byte-identical to the in-process run —
+// same allocation, same collected data, same message counts, same
+// residual budgets on both the sink's ledger and the sensors' own.
+func TestLoopbackParity(t *testing.T) {
+	inst := shortInstance(t, 60, 2000, 7)
+	schedulers := map[string]func() online.Scheduler{
+		"appro":  func() online.Scheduler { return &online.Appro{} },
+		"greedy": func() online.Scheduler { return &online.Greedy{} },
+	}
+	for name, mk := range schedulers {
+		t.Run(name, func(t *testing.T) {
+			want, err := online.Run(inst, mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, fl, _ := wireTour(t, inst, mk(), nil, nil)
+
+			if got.Data != want.Data {
+				t.Errorf("data: wire %v, in-process %v", got.Data, want.Data)
+			}
+			if !reflect.DeepEqual(got.Alloc.SlotOwner, want.Alloc.SlotOwner) {
+				t.Error("slot assignments diverge")
+			}
+			if got.Messages != want.Messages {
+				t.Errorf("messages: wire %+v, in-process %+v", got.Messages, want.Messages)
+			}
+			if got.Intervals != want.Intervals {
+				t.Errorf("intervals: wire %d, in-process %d", got.Intervals, want.Intervals)
+			}
+			if !reflect.DeepEqual(got.RegisteredIn, want.RegisteredIn) {
+				t.Error("registration history diverges")
+			}
+			for i := range want.Residual {
+				if got.Residual[i] != want.Residual[i] {
+					t.Fatalf("sensor %d sink-ledger residual: wire %v, in-process %v",
+						i, got.Residual[i], want.Residual[i])
+				}
+				if r := fl.clients[i].Residual(); r != want.Residual[i] {
+					t.Fatalf("sensor %d client residual %v, in-process %v", i, r, want.Residual[i])
+				}
+				if !math.IsInf(want.ResidualData[i], 1) && got.ResidualData[i] != want.ResidualData[i] {
+					t.Fatalf("sensor %d residual data: wire %v, in-process %v",
+						i, got.ResidualData[i], want.ResidualData[i])
+				}
+			}
+			if err := got.CheckLemma1(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestChaosProxyTour pushes a seeded fault plan through the proxy as
+// real network damage and checks the recovery machinery holds the
+// protocol invariants end to end.
+func TestChaosProxyTour(t *testing.T) {
+	inst := shortInstance(t, 24, 1600, 5)
+	plan := fault.Plan{
+		Seed:         42,
+		DropProbe:    0.15,
+		DropAck:      0.15,
+		DropSchedule: 0.25,
+		DropFinish:   1, // every Finish lost: all claims go stale
+		MaxRetries:   2,
+		Crashes: []fault.Crash{
+			{Sensor: 3, From: inst.T / 4, To: inst.T},
+			{Sensor: 11, From: 0, To: inst.T / 2},
+		},
+		StallIntervals: []int{1},
+	}
+	stallOnly := fault.Plan{Seed: plan.Seed, StallIntervals: plan.StallIntervals}
+	stalls, err := fault.NewInjector(stallOnly, len(inst.Sensors), inst.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Recovery{
+		MaxRetries:    plan.MaxRetries,
+		RegWindow:     50 * time.Millisecond,
+		ConfirmWindow: 50 * time.Millisecond,
+		Stalls:        stalls,
+	}
+	chaos := &ChaosConfig{Plan: plan, MaxDelay: 2 * time.Millisecond, ReorderProb: 0.1}
+
+	res, _, cs := wireTour(t, inst, &online.Appro{}, rec, chaos)
+	st := res.Fault
+	if st == nil {
+		t.Fatal("recovery run produced no fault stats")
+	}
+	if err := res.CheckLemma1(); err != nil {
+		t.Errorf("lemma 1 violated under chaos: %v", err)
+	}
+	if res.Data <= 0 {
+		t.Error("chaos tour collected no data")
+	}
+	for i, r := range res.Residual {
+		if r < 0 {
+			t.Errorf("sensor %d residual went negative: %v", i, r)
+		}
+	}
+	if cs.Dropped() == 0 {
+		t.Error("proxy dropped nothing despite nonzero drop rates")
+	}
+	if cs.DroppedFinishes == 0 {
+		t.Error("DropFinish=1 but no Finish frames dropped")
+	}
+	if st.ProbeRetransmissions == 0 {
+		t.Error("probe/ack drops occurred but no retransmission rounds ran")
+	}
+	if res.Messages.Retransmits != st.ProbeRetransmissions {
+		t.Errorf("Retransmits %d != ProbeRetransmissions %d",
+			res.Messages.Retransmits, st.ProbeRetransmissions)
+	}
+	if res.Messages.RepairUnicasts != st.RepairedSlots {
+		t.Errorf("RepairUnicasts %d != RepairedSlots %d",
+			res.Messages.RepairUnicasts, st.RepairedSlots)
+	}
+	if cs.DroppedSchedules > 0 && st.SchedulesMissed == 0 {
+		t.Error("schedule broadcasts dropped but sink detected no missed schedules")
+	}
+	if st.SchedulesMissed > 0 && st.RepairedSlots+st.LostSlots == 0 {
+		t.Error("missed schedules produced neither repairs nor lost slots")
+	}
+	if st.BudgetClamps == 0 {
+		t.Error("every Finish was jammed yet no stale budget was clamped")
+	}
+	if st.DegradedIntervals != 1 {
+		t.Errorf("DegradedIntervals = %d, want 1 (forced stall of interval 1)", st.DegradedIntervals)
+	}
+}
+
+// TestChaosDelayReorderOnly checks pure timing chaos (no drops): delays
+// and reorders alone must not break the protocol, because per-connection
+// TCP ordering plus interval tags filter stale traffic.
+func TestChaosDelayReorderOnly(t *testing.T) {
+	inst := shortInstance(t, 16, 1200, 9)
+	rec := &Recovery{MaxRetries: 1, RegWindow: 60 * time.Millisecond, ConfirmWindow: 60 * time.Millisecond}
+	chaos := &ChaosConfig{
+		Plan:        fault.Plan{Seed: 17},
+		MaxDelay:    3 * time.Millisecond,
+		ReorderProb: 0.2,
+	}
+	res, _, cs := wireTour(t, inst, &online.Greedy{}, rec, chaos)
+	if err := res.CheckLemma1(); err != nil {
+		t.Error(err)
+	}
+	if res.Data <= 0 {
+		t.Error("no data collected under delay/reorder chaos")
+	}
+	if cs.Dropped() != 0 {
+		t.Errorf("zero drop rates but proxy dropped %d frames", cs.Dropped())
+	}
+	if cs.Delayed == 0 {
+		t.Error("MaxDelay set but nothing was delayed")
+	}
+}

@@ -1,0 +1,30 @@
+package wire
+
+import "mobisink/internal/metrics"
+
+// Wire-transport instrumentation, on the process-wide default registry
+// so cmd/sinkd's stats dump and tests share one view. Registration is
+// idempotent, so plain var initialization is safe.
+var (
+	openConns = metrics.Default().Gauge(
+		"wire_open_connections",
+		"Sensor connections currently open on the sink server.")
+	framesSent = metrics.Default().CounterVec(
+		"wire_frames_sent_total",
+		"Protocol frames written, by message type.", "type")
+	framesReceived = metrics.Default().CounterVec(
+		"wire_frames_received_total",
+		"Protocol frames read and decoded, by message type.", "type")
+	framesDropped = metrics.Default().CounterVec(
+		"wire_frames_dropped_total",
+		"Frames discarded by the chaos proxy, by message type.", "type")
+	decodeErrors = metrics.Default().Counter(
+		"wire_decode_errors_total",
+		"Frames that failed strict decoding.")
+	regRoundtrip = metrics.Default().Histogram(
+		"wire_registration_roundtrip_seconds",
+		"Probe broadcast to registration-window close, per interval.", nil)
+	intervalCompute = metrics.Default().Histogram(
+		"wire_interval_compute_seconds",
+		"Scheduler compute time per interval on the sink server.", nil)
+)

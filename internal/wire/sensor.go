@@ -1,0 +1,239 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math"
+	"net"
+	"sort"
+	"sync"
+
+	"mobisink/internal/core"
+	"mobisink/internal/fault"
+	"mobisink/internal/geom"
+	"mobisink/internal/online"
+)
+
+// SensorConfig is everything a sensor endpoint knows: its own link
+// profile and budgets — never the rest of the network, preserving the
+// protocol's locality.
+type SensorConfig struct {
+	// Sensor is the endpoint's own visibility window and link profile.
+	Sensor core.SensorSlots
+	// Tau and Range replicate the instance's slot length and radio range
+	// (global constants every deployed node knows).
+	Tau   float64
+	Range float64
+	// DataCap is the sensed-data queue, bits; +Inf when unbounded.
+	DataCap float64
+	// Faults, when non-nil, drives the sensor-side failure model: a
+	// sensor that is crashed at a probed or assigned slot goes silent
+	// (internal/fault Alive rolls). Message-level drops belong to the
+	// network, i.e. ChaosProxy.
+	Faults *fault.Injector
+}
+
+// SensorConfigFor extracts sensor i's endpoint configuration from a
+// built instance.
+func SensorConfigFor(inst *core.Instance, i int) SensorConfig {
+	return SensorConfig{
+		Sensor:  inst.Sensors[i],
+		Tau:     inst.Tau,
+		Range:   inst.Range,
+		DataCap: inst.DataCapOf(i),
+	}
+}
+
+// SensorClient speaks the sensor side of the protocol over one
+// connection: it answers probes according to its visibility window and
+// residual budgets, confirms and stores schedules, and debits itself on
+// Finish receipt — the exact floating-point debit the in-process runner
+// performs, which is what makes wire and in-process residuals
+// bit-identical on lossless networks.
+type SensorClient struct {
+	cfg  SensorConfig
+	id   int
+	conn *Conn
+
+	mu           sync.Mutex
+	residual     float64
+	residualData float64
+	assigned     []int // slots of the current interval, ascending
+}
+
+// DialSensor connects and handshakes a sensor endpoint. Callers then run
+// its protocol loop via Run.
+func DialSensor(addr string, cfg SensorConfig) (*SensorClient, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := NewConn(raw)
+	if err := c.ClientHandshake(cfg.Sensor.ID); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &SensorClient{
+		cfg:          cfg,
+		id:           cfg.Sensor.ID,
+		conn:         c,
+		residual:     cfg.Sensor.Budget,
+		residualData: cfg.DataCap,
+	}, nil
+}
+
+// Residual returns the sensor's remaining energy budget, J.
+func (c *SensorClient) Residual() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.residual
+}
+
+// ResidualData returns the sensor's remaining queued data, bits.
+func (c *SensorClient) ResidualData() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.residualData
+}
+
+// Close tears down the connection (Run returns nil after a local Close).
+func (c *SensorClient) Close() error { return c.conn.Close() }
+
+// Run processes protocol messages until the sink closes the connection
+// (normal end of tour, returns nil) or the context is canceled.
+func (c *SensorClient) Run(ctx context.Context) error {
+	stopped := make(chan struct{})
+	defer close(stopped)
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.conn.Close()
+		case <-stopped:
+		}
+	}()
+	for {
+		m, err := c.conn.ReadMsg()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
+				return nil
+			}
+			return err
+		}
+		switch m := m.(type) {
+		case *Probe:
+			err = c.onProbe(m)
+		case *Schedule:
+			err = c.onSchedule(m)
+		case *Finish:
+			c.onFinish()
+		default:
+			// Unexpected but harmless (e.g. a duplicate Hello); ignore.
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// onProbe answers a registration solicitation: silence when crashed,
+// a decline when out of range, otherwise a registration carrying the
+// sensor's residual budgets and clipped window.
+func (c *SensorClient) onProbe(p *Probe) error {
+	if c.cfg.Faults != nil && !c.cfg.Faults.Alive(c.id, p.Start) {
+		return nil // crashed sensors are silent, not polite
+	}
+	s := &c.cfg.Sensor
+	sinkPos := geom.Point{X: p.SinkX, Y: p.SinkY}
+	if s.Start < 0 || sinkPos.Dist(s.Pos) > c.cfg.Range {
+		return c.conn.WriteMsg(&Ack{Kind: AckDecline, Interval: p.Interval, Attempt: p.Attempt, Sensor: c.id})
+	}
+	cs, ce := s.Start, s.End
+	if cs < p.Start {
+		cs = p.Start
+	}
+	if ce > p.End {
+		ce = p.End
+	}
+	c.mu.Lock()
+	reg := online.Registration{
+		Sensor: c.id, Budget: c.residual, DataLeft: c.residualData,
+		ClipStart: cs, ClipEnd: ce,
+	}
+	c.mu.Unlock()
+	return c.conn.WriteMsg(RegisterAck(p.Interval, p.Attempt, reg))
+}
+
+// onSchedule stores the sensor's share of a Schedule. A broadcast with
+// at least one own slot is confirmed — unless the sensor will be crashed
+// at any assigned slot, in which case it stays silent and lets the sink
+// detect and repair. Repair unicasts merge without confirmation,
+// mirroring the in-process recovery's optimistic repair commit.
+func (c *SensorClient) onSchedule(m *Schedule) error {
+	var mine []int
+	for _, p := range m.Pairs {
+		if p.Sensor == c.id {
+			mine = append(mine, p.Slot)
+		}
+	}
+	if m.Repair {
+		for _, slot := range mine {
+			if c.cfg.Faults != nil && !c.cfg.Faults.Alive(c.id, slot) {
+				continue
+			}
+			c.mu.Lock()
+			c.assigned = append(c.assigned, slot)
+			sort.Ints(c.assigned)
+			c.mu.Unlock()
+		}
+		return nil
+	}
+	if len(mine) == 0 {
+		c.mu.Lock()
+		c.assigned = nil
+		c.mu.Unlock()
+		return nil
+	}
+	if c.cfg.Faults != nil {
+		for _, slot := range mine {
+			if !c.cfg.Faults.Alive(c.id, slot) {
+				// Dying mid-interval: discard the whole assignment and stay
+				// silent so the sink's confirm window catches it.
+				c.mu.Lock()
+				c.assigned = nil
+				c.mu.Unlock()
+				return nil
+			}
+		}
+	}
+	sort.Ints(mine)
+	c.mu.Lock()
+	c.assigned = mine
+	c.mu.Unlock()
+	return c.conn.WriteMsg(&Ack{Kind: AckConfirm, Interval: m.Interval, Sensor: c.id})
+}
+
+// onFinish debits the interval's committed transmissions, replicating
+// the in-process commit's floating-point order exactly: spends
+// accumulate per slot in ascending order, then a single clamped
+// subtraction per budget.
+func (c *SensorClient) onFinish() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var e, d float64
+	for _, slot := range c.assigned {
+		e += c.cfg.Sensor.PowerAt(slot) * c.cfg.Tau
+		d += c.cfg.Sensor.RateAt(slot) * c.cfg.Tau
+	}
+	c.assigned = nil
+	if e == 0 && d == 0 {
+		return
+	}
+	c.residual = math.Max(0, c.residual-e)
+	if !math.IsInf(c.residualData, 1) {
+		c.residualData = math.Max(0, c.residualData-d)
+	}
+}

@@ -1,0 +1,682 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"mobisink/internal/core"
+	"mobisink/internal/fault"
+	"mobisink/internal/online"
+)
+
+// Recovery enables the sink server's self-healing machinery, the wire
+// counterpart of online.Options.Faults: bounded probe retransmission,
+// stale-budget clamps, confirm-based silence detection with schedule
+// repair, and degraded-mode fallback. Nil Recovery runs the paper's
+// idealized protocol: the sink waits for every connected sensor's answer
+// (register or decline) with no timers, which is what makes the
+// fault-free tour byte-identical to online.Run.
+type Recovery struct {
+	// MaxRetries bounds the extra registration rounds per interval (the
+	// in-process Plan.MaxRetries).
+	MaxRetries int
+	// RegWindow is how long the sink waits for outstanding answers in
+	// each registration round before retransmitting (or giving up). It
+	// must comfortably exceed the network round-trip time; sensors that
+	// cannot answer within it are treated as out of reach. Default 100ms.
+	RegWindow time.Duration
+	// ConfirmWindow is how long the sink waits for Schedule confirmations
+	// before declaring the silent assignees crashed or deaf and repairing
+	// their slots. Default 100ms.
+	ConfirmWindow time.Duration
+	// Stalls, when non-nil, injects deterministic scheduler stalls
+	// (Plan.StallProb/StallIntervals) that force the degraded fallback,
+	// mirroring the in-process fault path.
+	Stalls *fault.Injector
+	// ComputeDeadline, when positive, bounds each interval's scheduler
+	// wall-clock time; on overrun the interval falls back to Degraded.
+	ComputeDeadline time.Duration
+	// Degraded overrides the fallback scheduler (default density-greedy;
+	// Sequential on data-capped instances).
+	Degraded online.Scheduler
+}
+
+// SinkConfig configures a Sink server.
+type SinkConfig struct {
+	Inst      *core.Instance
+	Scheduler online.Scheduler
+	// Addr is the TCP listen address; default "127.0.0.1:0".
+	Addr string
+	// Sensors is the client count WaitSensors waits for; default
+	// len(Inst.Sensors).
+	Sensors int
+	// Recovery enables the self-healing protocol; nil runs the idealized
+	// lossless exchange.
+	Recovery *Recovery
+}
+
+// inbound is one decoded message attributed to its sensor; a nil msg
+// marks the connection closed.
+type inbound struct {
+	sensor int
+	msg    Msg
+}
+
+// Sink is the mobile sink as a TCP server: it accepts long-lived sensor
+// connections and drives the tour's interval loop over them — probe
+// broadcast, registration window, scheduler, schedule/finish broadcast —
+// debiting budgets through the same commit path as the in-process
+// runner.
+type Sink struct {
+	cfg      SinkConfig
+	rec      *Recovery
+	degraded online.Scheduler
+	ln       net.Listener
+	inbox    chan inbound
+	done     chan struct{}
+
+	mu     sync.Mutex
+	conns  map[int]*Conn
+	joined int
+	closed bool
+}
+
+// NewSink validates the configuration, binds the listener, and starts
+// accepting sensor connections. Callers must Close it.
+func NewSink(cfg SinkConfig) (*Sink, error) {
+	if cfg.Inst == nil {
+		return nil, errors.New("wire: nil instance")
+	}
+	if cfg.Scheduler == nil {
+		return nil, errors.New("wire: nil scheduler")
+	}
+	if cfg.Inst.DataCaps != nil {
+		aware, ok := cfg.Scheduler.(interface{ CapAware() bool })
+		if !ok || !aware.CapAware() {
+			return nil, fmt.Errorf("wire: scheduler %s does not handle data-capped instances (use Sequential)", cfg.Scheduler.Name())
+		}
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Sensors == 0 {
+		cfg.Sensors = len(cfg.Inst.Sensors)
+	}
+	s := &Sink{
+		cfg:   cfg,
+		rec:   cfg.Recovery,
+		inbox: make(chan inbound, max(256, 16*cfg.Sensors)),
+		done:  make(chan struct{}),
+		conns: make(map[int]*Conn),
+	}
+	if s.rec != nil {
+		if s.rec.RegWindow <= 0 {
+			s.rec.RegWindow = 100 * time.Millisecond
+		}
+		if s.rec.ConfirmWindow <= 0 {
+			s.rec.ConfirmWindow = 100 * time.Millisecond
+		}
+		s.degraded = s.rec.Degraded
+	}
+	if s.degraded == nil {
+		if cfg.Inst.DataCaps != nil {
+			s.degraded = &online.Sequential{}
+		} else {
+			s.degraded = &online.Greedy{}
+		}
+	}
+	if s.rec != nil && cfg.Inst.DataCaps != nil {
+		aware, ok := s.degraded.(interface{ CapAware() bool })
+		if !ok || !aware.CapAware() {
+			return nil, fmt.Errorf("wire: degraded scheduler %s does not handle data-capped instances", s.degraded.Name())
+		}
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address ("127.0.0.1:port").
+func (s *Sink) Addr() string { return s.ln.Addr().String() }
+
+// Close tears down the listener and all sensor connections.
+func (s *Sink) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*Conn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	close(s.done)
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+func (s *Sink) acceptLoop() {
+	for {
+		raw, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go s.handle(NewConn(raw))
+	}
+}
+
+func (s *Sink) handle(c *Conn) {
+	id, err := c.ServerHandshake()
+	if err != nil {
+		c.Close()
+		return
+	}
+	s.mu.Lock()
+	if s.closed || id >= len(s.cfg.Inst.Sensors) || s.conns[id] != nil {
+		s.mu.Unlock()
+		c.Close()
+		return
+	}
+	s.conns[id] = c
+	s.joined++
+	s.mu.Unlock()
+	openConns.Inc()
+	defer func() {
+		s.mu.Lock()
+		if s.conns[id] == c {
+			delete(s.conns, id)
+		}
+		s.mu.Unlock()
+		openConns.Dec()
+		c.Close()
+		select {
+		case s.inbox <- inbound{sensor: id}:
+		case <-s.done:
+		}
+	}()
+	for {
+		m, err := c.ReadMsg()
+		if err != nil {
+			return
+		}
+		select {
+		case s.inbox <- inbound{sensor: id, msg: m}:
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// WaitSensors blocks until the configured number of sensors has
+// completed the handshake (or the context expires).
+func (s *Sink) WaitSensors(ctx context.Context) error {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		n := s.joined
+		s.mu.Unlock()
+		if n >= s.cfg.Sensors {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("wire: %w waiting for sensors (%d/%d joined)", ctx.Err(), n, s.cfg.Sensors)
+		case <-tick.C:
+		}
+	}
+}
+
+// snapshot returns the live connections keyed by sensor index.
+func (s *Sink) snapshot() map[int]*Conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]*Conn, len(s.conns))
+	for id, c := range s.conns {
+		out[id] = c
+	}
+	return out
+}
+
+// dropConn discards a connection whose write failed; its sensor is
+// treated as departed for the rest of the tour.
+func (s *Sink) dropConn(id int, c *Conn) {
+	s.mu.Lock()
+	if s.conns[id] == c {
+		delete(s.conns, id)
+	}
+	s.mu.Unlock()
+	c.Close()
+}
+
+// RunTour drives one tour of the online protocol over the connected
+// sensors and returns the same Result as online.Run: on a lossless
+// network with Recovery nil, byte-identical allocations, collected data,
+// residual budgets, and message counts. With Recovery set, Result.Fault
+// tallies the sink-observable recoveries (retransmission rounds, budget
+// clamps, missed schedules, repairs, lost slots, degraded intervals);
+// network-side drop counts live in the chaos layer, which the sink
+// cannot observe.
+func (s *Sink) RunTour(ctx context.Context) (*online.Result, error) {
+	inst := s.cfg.Inst
+	res := &online.Result{
+		Alloc:        inst.NewAllocation(),
+		RegisteredIn: make([][]int, len(inst.Sensors)),
+		Residual:     make([]float64, len(inst.Sensors)),
+		ResidualData: make([]float64, len(inst.Sensors)),
+	}
+	for i := range inst.Sensors {
+		res.Residual[i] = inst.Sensors[i].Budget
+		res.ResidualData[i] = inst.DataCapOf(i)
+	}
+	var st *fault.Stats
+	if s.rec != nil {
+		st = &fault.Stats{}
+		res.Fault = st
+	}
+	gamma := inst.Gamma
+	intervals := (inst.T + gamma - 1) / gamma
+	res.Intervals = intervals
+	for j := 0; j < intervals; j++ {
+		start := j * gamma
+		end := start + gamma - 1
+		if end >= inst.T {
+			end = inst.T - 1
+		}
+		iv := online.Interval{Index: j, Start: start, End: end}
+		if err := s.runInterval(ctx, iv, res, st); err != nil {
+			return nil, fmt.Errorf("wire: interval %d: %w", j, err)
+		}
+	}
+	inst.RecomputeData(res.Alloc)
+	res.Data = res.Alloc.Data
+	if _, err := inst.Validate(res.Alloc); err != nil {
+		return nil, fmt.Errorf("wire: produced infeasible allocation: %w", err)
+	}
+	return res, nil
+}
+
+// runInterval executes one probe → ack → schedule → finish cycle over
+// the wire.
+func (s *Sink) runInterval(ctx context.Context, iv online.Interval, res *online.Result, st *fault.Stats) error {
+	inst := s.cfg.Inst
+	sinkPos := inst.Traj.PosAtSlotStart(iv.Start)
+	probe := &Probe{Interval: iv.Index, Start: iv.Start, End: iv.End, SinkX: sinkPos.X, SinkY: sinkPos.Y}
+	conns := s.snapshot()
+
+	probeAt := time.Now()
+	registered, err := s.registration(ctx, iv, probe, conns, res, st)
+	if err != nil {
+		return err
+	}
+	regRoundtrip.Observe(time.Since(probeAt).Seconds())
+
+	// Canonical registration order (ascending sensor index, matching the
+	// in-process runner regardless of Ack arrival order), with the
+	// recovery path's feasibility guard: a stale claim — the sensor missed
+	// a Finish and never debited — is clamped against the sink's ledger.
+	ids := make([]int, 0, len(registered))
+	for id := range registered {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	regs := make([]online.Registration, 0, len(ids))
+	for _, id := range ids {
+		r := registered[id]
+		res.RegisteredIn[id] = append(res.RegisteredIn[id], iv.Index)
+		if s.rec != nil {
+			if r.Budget > res.Residual[id] {
+				st.BudgetClamps++
+				r.Budget = res.Residual[id]
+			}
+			if !math.IsInf(res.ResidualData[id], 1) && r.DataLeft > res.ResidualData[id] {
+				r.DataLeft = res.ResidualData[id]
+			}
+		}
+		regs = append(regs, r)
+	}
+	if len(regs) == 0 {
+		return nil // nobody answered; the sink idles this interval
+	}
+
+	computeAt := time.Now()
+	assign, err := s.schedule(ctx, iv, regs, st)
+	if err != nil {
+		return err
+	}
+	intervalCompute.Observe(time.Since(computeAt).Seconds())
+
+	// Schedule broadcast to the registered sensors (slot → sensor pairs
+	// sorted by slot; one logical broadcast regardless of fan-out).
+	pairs := make([]Assign, 0, len(assign))
+	for slot, sensor := range assign {
+		pairs = append(pairs, Assign{Slot: slot, Sensor: sensor})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].Slot < pairs[b].Slot })
+	s.broadcast(&Schedule{Interval: iv.Index, Pairs: pairs}, ids, conns)
+	res.Messages.Schedules++
+
+	if s.rec == nil {
+		if err := online.ApplyAssignment(inst, iv, regs, assign, res); err != nil {
+			return err
+		}
+	} else {
+		confirmed := s.collectConfirms(ctx, iv, assign)
+		if err := s.commitRecover(iv, regs, assign, confirmed, conns, res, st); err != nil {
+			return err
+		}
+	}
+
+	// Finish broadcast: the registered sensors debit their budgets on
+	// receipt; TCP ordering delivers it before the next interval's Probe,
+	// so every later registration claim reflects the debit.
+	s.broadcast(&Finish{Interval: iv.Index}, ids, conns)
+	res.Messages.Finishes++
+	return nil
+}
+
+// broadcast writes one frame to each listed sensor, discarding
+// connections whose transport has failed.
+func (s *Sink) broadcast(m Msg, ids []int, conns map[int]*Conn) {
+	for _, id := range ids {
+		c := conns[id]
+		if c == nil {
+			continue
+		}
+		if err := c.WriteMsg(m); err != nil {
+			s.dropConn(id, c)
+			delete(conns, id)
+		}
+	}
+}
+
+// registration runs the interval's registration phase and returns the
+// heard claims by sensor. With Recovery nil it is the idealized
+// exchange: every connected sensor answers every probe (register or
+// decline), so the window closes exactly when all answers are in — no
+// timers, no drops, and Ack counts that match the in-process run. With
+// Recovery set it runs timed windows with up to MaxRetries retransmit
+// rounds unicast to the sensors still silent.
+func (s *Sink) registration(ctx context.Context, iv online.Interval, probe *Probe, conns map[int]*Conn, res *online.Result, st *fault.Stats) (map[int]online.Registration, error) {
+	all := make([]int, 0, len(conns))
+	for id := range conns {
+		all = append(all, id)
+	}
+	sort.Ints(all)
+	s.broadcast(probe, all, conns)
+	res.Messages.Probes++
+
+	registered := make(map[int]online.Registration)
+	answered := make(map[int]bool)
+	handle := func(in inbound) {
+		if in.msg == nil { // connection closed: the sensor is gone
+			answered[in.sensor] = true
+			return
+		}
+		ack, ok := in.msg.(*Ack)
+		if !ok || ack.Interval != iv.Index || ack.Kind == AckConfirm || ack.Sensor != in.sensor {
+			return // stale or out-of-phase traffic
+		}
+		if answered[in.sensor] {
+			return
+		}
+		answered[in.sensor] = true
+		if ack.Kind == AckRegister {
+			registered[in.sensor] = ack.Registration()
+			res.Messages.Acks++
+		}
+	}
+	outstanding := func() []int {
+		var out []int
+		for _, id := range all {
+			if !answered[id] && conns[id] != nil {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+
+	if s.rec == nil {
+		for len(outstanding()) > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case in := <-s.inbox:
+				handle(in)
+			}
+		}
+		return registered, nil
+	}
+
+	for attempt := 0; attempt <= s.rec.MaxRetries; attempt++ {
+		pending := outstanding()
+		if len(pending) == 0 {
+			break
+		}
+		if attempt > 0 {
+			// One retransmission round: re-probe the stragglers (unicast,
+			// but tallied as one round like the in-process recovery).
+			rp := *probe
+			rp.Attempt = attempt
+			s.broadcast(&rp, pending, conns)
+			res.Messages.Retransmits++
+			st.ProbeRetransmissions++
+		}
+		timer := time.NewTimer(s.rec.RegWindow)
+	window:
+		for len(outstanding()) > 0 {
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, ctx.Err()
+			case <-timer.C:
+				break window
+			case in := <-s.inbox:
+				handle(in)
+			}
+		}
+		timer.Stop()
+	}
+	return registered, nil
+}
+
+// schedule runs the interval's scheduler under the recovery stall model,
+// mirroring the in-process fault path: an injected stall skips the
+// primary scheduler outright; a compute-deadline overrun aborts it via
+// context. Either way the degraded fallback reschedules the interval.
+func (s *Sink) schedule(ctx context.Context, iv online.Interval, regs []online.Registration, st *fault.Stats) (map[int]int, error) {
+	inst, sched := s.cfg.Inst, s.cfg.Scheduler
+	if s.rec != nil {
+		if s.rec.Stalls != nil && s.rec.Stalls.Stalled(iv.Index) {
+			st.DegradedIntervals++
+			return s.degraded.Schedule(ctx, inst, iv, regs)
+		}
+		if s.rec.ComputeDeadline > 0 {
+			cctx, cancel := context.WithTimeout(ctx, s.rec.ComputeDeadline)
+			assign, err := sched.Schedule(cctx, inst, iv, regs)
+			cancel()
+			if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				st.DegradedIntervals++
+				return s.degraded.Schedule(ctx, inst, iv, regs)
+			}
+			return assign, err
+		}
+	}
+	return sched.Schedule(ctx, inst, iv, regs)
+}
+
+// collectConfirms waits out the confirm window and returns the assigned
+// sensors that acknowledged the Schedule broadcast. A sensor with slots
+// but no confirm is crashed, deaf, or unreachable — commitRecover
+// repairs its slots.
+func (s *Sink) collectConfirms(ctx context.Context, iv online.Interval, assign map[int]int) map[int]bool {
+	want := make(map[int]bool)
+	for _, sensor := range assign {
+		want[sensor] = true
+	}
+	confirmed := make(map[int]bool, len(want))
+	timer := time.NewTimer(s.rec.ConfirmWindow)
+	defer timer.Stop()
+	for len(confirmed) < len(want) {
+		select {
+		case <-ctx.Done():
+			return confirmed
+		case <-timer.C:
+			return confirmed
+		case in := <-s.inbox:
+			if in.msg == nil {
+				continue
+			}
+			ack, ok := in.msg.(*Ack)
+			if ok && ack.Kind == AckConfirm && ack.Interval == iv.Index && want[in.sensor] {
+				confirmed[in.sensor] = true
+			}
+		}
+	}
+	return confirmed
+}
+
+// commitRecover is the wire counterpart of the in-process faulty commit:
+// it validates the scheduler output under the protocol rules, then
+// commits slot by slot, treating unconfirmed assignees as silent — one
+// detection slot lost per silent sensor, remaining slots repaired to the
+// best-rate eligible replacement via unicast Schedule updates. Repairs
+// commit optimistically: the sink cannot observe a dropped repair
+// unicast, and any resulting ledger divergence is healed by the budget
+// clamp at the sensor's next registration.
+func (s *Sink) commitRecover(iv online.Interval, regs []online.Registration, assign map[int]int, confirmed map[int]bool, conns map[int]*Conn, res *online.Result, st *fault.Stats) error {
+	inst := s.cfg.Inst
+	regOf := make(map[int]*online.Registration, len(regs))
+	for k := range regs {
+		regOf[regs[k].Sensor] = &regs[k]
+	}
+	slots := make([]int, 0, len(assign))
+	for slot, sensor := range assign {
+		r, ok := regOf[sensor]
+		if !ok {
+			return fmt.Errorf("scheduler assigned slot %d to unregistered sensor %d", slot, sensor)
+		}
+		if slot < r.ClipStart || slot > r.ClipEnd {
+			return fmt.Errorf("slot %d outside clipped window [%d,%d] of sensor %d", slot, r.ClipStart, r.ClipEnd, sensor)
+		}
+		if res.Alloc.SlotOwner[slot] != -1 {
+			return fmt.Errorf("slot %d double-booked", slot)
+		}
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+
+	deaf := make(map[int]bool)
+	for _, sensor := range assign {
+		if !confirmed[sensor] {
+			deaf[sensor] = true
+		}
+	}
+	countedDeaf := make(map[int]bool)
+	detected := make(map[int]bool)
+	spend := make(map[int]float64)
+	dataSpend := make(map[int]float64)
+
+	fits := func(sensor, slot int) bool {
+		r := regOf[sensor]
+		e := inst.Sensors[sensor].PowerAt(slot) * inst.Tau
+		d := inst.Sensors[sensor].RateAt(slot) * inst.Tau
+		if spend[sensor]+e > r.Budget+1e-9 {
+			return false
+		}
+		return dataSpend[sensor]+d <= r.DataLeft+1e-6
+	}
+	commit := func(sensor, slot int) {
+		spend[sensor] += inst.Sensors[sensor].PowerAt(slot) * inst.Tau
+		dataSpend[sensor] += inst.Sensors[sensor].RateAt(slot) * inst.Tau
+		res.Alloc.SlotOwner[slot] = sensor
+	}
+	repair := func(slot, exclude int) {
+		best, bestRate := -1, 0.0
+		for _, r := range regs {
+			i := r.Sensor
+			if i == exclude || deaf[i] || detected[i] {
+				continue
+			}
+			if slot < r.ClipStart || slot > r.ClipEnd {
+				continue
+			}
+			rate, pw := inst.Sensors[i].RateAt(slot), inst.Sensors[i].PowerAt(slot)
+			if rate <= 0 || pw <= 0 || !fits(i, slot) {
+				continue
+			}
+			if rate > bestRate {
+				best, bestRate = i, rate
+			}
+		}
+		if best < 0 {
+			st.LostSlots++
+			return
+		}
+		if c := conns[best]; c != nil {
+			if err := c.WriteMsg(&Schedule{Interval: iv.Index, Repair: true, Pairs: []Assign{{Slot: slot, Sensor: best}}}); err != nil {
+				s.dropConn(best, c)
+				delete(conns, best)
+				st.LostSlots++
+				return
+			}
+		} else {
+			st.LostSlots++
+			return
+		}
+		res.Messages.RepairUnicasts++
+		st.RepairedSlots++
+		commit(best, slot)
+	}
+
+	for _, slot := range slots {
+		sensor := assign[slot]
+		switch {
+		case deaf[sensor]:
+			if !countedDeaf[sensor] {
+				countedDeaf[sensor] = true
+				st.SchedulesMissed++
+			}
+			if !detected[sensor] {
+				// The sink spends this slot discovering the silence.
+				detected[sensor] = true
+				st.LostSlots++
+				continue
+			}
+			repair(slot, sensor)
+		case detected[sensor]:
+			repair(slot, sensor)
+		case !fits(sensor, slot):
+			// Only possible after a repair consumed this sensor's budget;
+			// the sink made that repair, so it reassigns proactively.
+			repair(slot, sensor)
+		default:
+			commit(sensor, slot)
+		}
+	}
+
+	// Debit the ledger exactly like the fault-free path: per-sensor
+	// accumulation in ascending slot order, one subtraction per sensor.
+	for sensor, e := range spend {
+		res.Residual[sensor] = math.Max(0, res.Residual[sensor]-e)
+		if !math.IsInf(res.ResidualData[sensor], 1) {
+			res.ResidualData[sensor] = math.Max(0, res.ResidualData[sensor]-dataSpend[sensor])
+		}
+	}
+	return nil
+}
