@@ -1,0 +1,184 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"mobisink/internal/gap"
+	"mobisink/internal/metrics"
+)
+
+var (
+	deltaComponentsResolved = metrics.Default().Counter(
+		"solve_delta_components_resolved",
+		"Window components re-solved incrementally by warm-started delta applies.")
+	deltaFullFallbacks = metrics.Default().Counter(
+		"solve_delta_full_fallbacks",
+		"Warm delta applies that took a full re-solve (cold starts and dirty-fraction fallbacks).")
+)
+
+// SensorPatch is one sensor's absolute visible state for a warm solve:
+// its current residual budget and data cap, and the window of slots it
+// may serve (Lo > Hi means invisible). The slice passed to
+// WarmSolver.Apply is the COMPLETE visible set — any sensor patched
+// previously but absent now is disabled.
+type SensorPatch struct {
+	Sensor  int
+	Budget  float64
+	DataCap float64
+	Lo, Hi  int
+}
+
+// WarmResult is one warm solve's outcome. SlotSensor aliases the
+// solver's internal buffer — valid until the next Apply.
+type WarmResult struct {
+	SlotSensor []int32 // slot → sensor index, -1 unassigned
+	Profit     float64
+	Stats      gap.ApplyStats
+	Recompiled bool // the instance pointer changed and Apply recompiled
+}
+
+// WarmSolver drives gap.Compiled.Apply across a sequence of solves of
+// the same instance under drifting sensor state — the online protocol's
+// per-interval loop. It compiles the tour-wide Appro reduction once per
+// instance (keyed by pointer; gap.Compiled.Generation orders the patch
+// states), then expresses each solve as a delta against the previous
+// one, so only the window components whose sensors changed are
+// re-solved. The zero value is ready to use. Not safe for concurrent
+// use; results are bit-identical to cold-compiling the patched state,
+// which SelfCheck enforces per Apply.
+type WarmSolver struct {
+	// Opts configures the compile exactly like CompileAppro (a custom
+	// Knapsack oracle is rejected there; Parallel is ignored — the warm
+	// path is sequential by construction).
+	Opts Options
+	// SelfCheck re-solves every Apply cold and verifies bit-equality
+	// (math.Float64bits on profit, exact slot owners). For tests and
+	// paranoid deployments; it erases the warm speedup.
+	SelfCheck bool
+
+	inst       *Instance
+	c          *Compiled
+	binOf      []int // sensor index → gap bin, -1 when not compiled
+	visible    []bool
+	want       []bool
+	delta      gap.Delta
+	out        []int32
+	slotSensor []int32
+}
+
+// Apply solves the instance under the given complete visible-sensor
+// state, warm-starting from the previous Apply when the instance pointer
+// is unchanged. Patches for sensors the reduction dropped (never in
+// range) are inert; unknown sensor indices error.
+func (w *WarmSolver) Apply(ctx context.Context, inst *Instance, patches []SensorPatch) (WarmResult, error) {
+	var res WarmResult
+	if inst == nil {
+		return res, errors.New("core: nil instance")
+	}
+	if inst != w.inst {
+		c, err := CompileAppro(inst, w.Opts)
+		if err != nil {
+			return res, err
+		}
+		w.inst, w.c = inst, c
+		w.binOf = make([]int, len(inst.Sensors))
+		for i := range w.binOf {
+			w.binOf[i] = -1
+		}
+		for b, si := range c.order {
+			w.binOf[si] = b
+		}
+		nb := len(c.order)
+		w.visible = make([]bool, nb)
+		for b := range w.visible {
+			w.visible[b] = true // compile state: every bin fully enabled
+		}
+		w.want = make([]bool, nb)
+		w.out = make([]int32, inst.T)
+		w.slotSensor = make([]int32, inst.T)
+		res.Recompiled = true
+	}
+	w.delta.Reset()
+	for b := range w.want {
+		w.want[b] = false
+	}
+	for _, p := range patches {
+		if p.Sensor < 0 || p.Sensor >= len(w.binOf) {
+			return res, fmt.Errorf("core: patch names sensor %d outside the instance", p.Sensor)
+		}
+		b := w.binOf[p.Sensor]
+		if b < 0 {
+			continue // dropped by the reduction: nothing to patch
+		}
+		w.want[b] = true
+		w.delta.SetCap(b, p.Budget)
+		w.delta.SetDataCap(b, p.DataCap)
+		w.delta.ShiftWindow(b, p.Lo, p.Hi)
+	}
+	for b, vis := range w.visible {
+		if vis && !w.want[b] {
+			w.delta.ShiftWindow(b, 0, -1) // departed sensor: hide the bin
+		}
+		w.visible[b] = w.want[b]
+	}
+	profit, stats, err := w.c.g.Apply(ctx, &w.delta, w.out)
+	if err != nil {
+		return res, err
+	}
+	deltaComponentsResolved.Add(float64(stats.ComponentsResolved))
+	if stats.Full || stats.ColdStart {
+		deltaFullFallbacks.Inc()
+	}
+	for j, b := range w.out {
+		if b >= 0 {
+			w.slotSensor[j] = int32(w.c.order[b])
+		} else {
+			w.slotSensor[j] = -1
+		}
+	}
+	res.SlotSensor = w.slotSensor
+	res.Profit = profit
+	res.Stats = stats
+	if w.SelfCheck {
+		if err := w.selfCheck(ctx, profit); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// Generation exposes the underlying patch-state counter (0 before the
+// first Apply).
+func (w *WarmSolver) Generation() uint64 {
+	if w.c == nil {
+		return 0
+	}
+	return w.c.g.Generation()
+}
+
+// selfCheck cold-compiles the current patched state and demands
+// bit-equality with the warm solve.
+func (w *WarmSolver) selfCheck(ctx context.Context, profit float64) error {
+	g := w.c.g
+	ref, err := gap.Compile(g.Remake(), g.Quantum, g.Eps)
+	if err != nil {
+		return fmt.Errorf("core: warm self-check recompile: %w", err)
+	}
+	refOut := make([]int32, g.NumItems)
+	refProfit, err := ref.SolveInto(ctx, nil, refOut, gap.SolveOptions{})
+	if err != nil {
+		return fmt.Errorf("core: warm self-check cold solve: %w", err)
+	}
+	if math.Float64bits(refProfit) != math.Float64bits(profit) {
+		return fmt.Errorf("core: warm profit %v != cold profit %v", profit, refProfit)
+	}
+	for j := range refOut {
+		if refOut[j] != w.out[j] {
+			return fmt.Errorf("core: warm slot %d owned by bin %d, cold by %d", j, w.out[j], refOut[j])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"mobisink/internal/radio"
+)
+
+// fullVisibility builds the patch set describing the instance's compile
+// state: every reachable sensor at full budget with its whole window.
+func fullVisibility(inst *Instance) []SensorPatch {
+	var ps []SensorPatch
+	for i := range inst.Sensors {
+		s := &inst.Sensors[i]
+		if s.Start < 0 {
+			continue
+		}
+		ps = append(ps, SensorPatch{
+			Sensor: i, Budget: s.Budget, DataCap: math.Inf(1),
+			Lo: s.Start, Hi: s.End,
+		})
+	}
+	return ps
+}
+
+// TestWarmSolverFullVisibilityMatchesOffline: patching the compile state
+// itself must reproduce Offline_Appro's slot owners exactly, and a
+// repeat of the same patches must take the cached no-op path.
+func TestWarmSolverFullVisibilityMatchesOffline(t *testing.T) {
+	d := tinyDeployment(t, 30, 7, 2)
+	inst, err := BuildInstance(d, radio.Paper2013(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var w WarmSolver
+	w.SelfCheck = true
+	res, err := w.Apply(ctx, inst, fullVisibility(inst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recompiled || !res.Stats.ColdStart {
+		t.Fatalf("first Apply: %+v, want recompile + cold start", res.Stats)
+	}
+	alloc, err := OfflineApproCtx(ctx, inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, owner := range alloc.SlotOwner {
+		if int(res.SlotSensor[j]) != owner {
+			t.Fatalf("slot %d: warm owner %d, offline owner %d", j, res.SlotSensor[j], owner)
+		}
+	}
+	gen := w.Generation()
+	if gen == 0 {
+		t.Fatal("generation still 0 after a successful Apply")
+	}
+	res2, err := w.Apply(ctx, inst, fullVisibility(inst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Recompiled || !res2.Stats.NoOp {
+		t.Fatalf("identical patches: %+v, want the cached no-op path", res2.Stats)
+	}
+	if w.Generation() != gen+1 {
+		t.Fatalf("generation %d, want %d", w.Generation(), gen+1)
+	}
+}
+
+// TestWarmSolverIncrementalDebits drives a debit/clip sequence with the
+// bit-exactness self-check armed and verifies the counters move.
+func TestWarmSolverIncrementalDebits(t *testing.T) {
+	d := tinyDeployment(t, 30, 11, 2)
+	inst, err := BuildInstance(d, radio.Paper2013(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var w WarmSolver
+	w.SelfCheck = true
+	base := fullVisibility(inst)
+	if _, err := w.Apply(ctx, inst, base); err != nil {
+		t.Fatal(err)
+	}
+	resolvedBefore := deltaComponentsResolved.Value()
+	fullBefore := deltaFullFallbacks.Value()
+	incremental := 0
+	for step := 1; step <= 6; step++ {
+		ps := append([]SensorPatch(nil), base...)
+		k := step % len(ps)
+		ps[k].Budget *= 0.5
+		if ps[k].Lo < ps[k].Hi {
+			ps[k].Hi--
+		}
+		res, err := w.Apply(ctx, inst, ps)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if res.Stats.ColdStart {
+			t.Fatalf("step %d unexpectedly cold-started", step)
+		}
+		if res.Stats.ComponentsResolved > 0 {
+			incremental++
+		}
+		base = ps
+	}
+	resolved := deltaComponentsResolved.Value() - resolvedBefore
+	fulls := deltaFullFallbacks.Value() - fullBefore
+	if incremental > 0 && resolved <= 0 {
+		t.Fatalf("solve_delta_components_resolved did not advance (got +%v)", resolved)
+	}
+	if float64(incremental)+fulls < 6 {
+		t.Fatalf("stats drop intervals: %d incremental + %v full < 6 applies", incremental, fulls)
+	}
+}
+
+// TestWarmSolverRebindsOnNewInstance: a different instance pointer
+// recompiles; the old instance's patch state is discarded.
+func TestWarmSolverRebindsOnNewInstance(t *testing.T) {
+	ctx := context.Background()
+	var w WarmSolver
+	for seed := int64(0); seed < 2; seed++ {
+		d := tinyDeployment(t, 20, 20+seed, 2)
+		inst, err := BuildInstance(d, radio.Paper2013(), 5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := w.Apply(ctx, inst, fullVisibility(inst))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Recompiled {
+			t.Fatalf("seed %d: expected recompile on new instance pointer", seed)
+		}
+	}
+}
+
+func TestWarmSolverRejectsUnknownSensor(t *testing.T) {
+	d := tinyDeployment(t, 10, 3, 2)
+	inst, err := BuildInstance(d, radio.Paper2013(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w WarmSolver
+	if _, err := w.Apply(context.Background(), inst, []SensorPatch{{Sensor: 999, Budget: 1, Lo: 0, Hi: 0}}); err == nil {
+		t.Fatal("expected error for out-of-range sensor index")
+	}
+	if _, err := w.Apply(context.Background(), nil, nil); err == nil {
+		t.Fatal("expected error for nil instance")
+	}
+}

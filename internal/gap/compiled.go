@@ -16,7 +16,9 @@ import (
 // contiguous bin-major CSR arrays, weights are pre-quantized for the exact
 // DP oracle, and the bin–item connected components are precomputed. It is
 // built once (validating the instance exactly once) and reused across
-// solver calls; Solve/SolveInto are safe for concurrent use.
+// solver calls; Solve/SolveInto are safe for concurrent use as long as no
+// Apply runs concurrently (Apply patches the instance in place — see
+// delta.go).
 //
 // Entries that can never be assigned — non-positive profit, or weight
 // exceeding the bin capacity — are dropped at compile time; the local-ratio
@@ -40,11 +42,43 @@ type Compiled struct {
 	Quantum float64 // weight quantum; > 0 selects the exact DP oracle
 	Eps     float64 // FPTAS accuracy, used when Quantum == 0
 
+	// MaxDirtyFraction tunes Apply's incremental/full trade-off: when the
+	// compiled entries inside dirty components exceed this fraction of all
+	// entries, Apply re-solves everything in one sweep instead of
+	// re-solving component by component. 0 selects 0.5; negative disables
+	// the fallback (always per-component).
+	MaxDirtyFraction float64
+
 	allBins     []int32   // [0, 1, …, len(Cap)-1]
 	comps       [][]int32 // connected components, ascending bins, ordered by smallest bin
 	compEntries []int32   // compiled entry count per component
+	compItems   [][]int32 // items appearing in each component's entries
+	binComp     []int32   // bin → component index
 	maxBin      int       // max compiled entries in one bin
+
+	cap0  []float64 // compile-time capacities (delta representability)
+	shedW []bool    // bin had positive-profit entries dropped for weight > cap
+
+	// Patch state, nil/zero until the first Apply (delta.go). Once patched,
+	// every solve — incremental or cold — honors the current caps and the
+	// per-entry off flags.
+	patched bool
+	off     []bool    // per-entry disabled flag
+	enCount []int32   // per-bin count of entries with off[k] == false
+	dataCap []float64 // per-bin data caps; recorded only, the sweep does not read them
+	gen     uint64    // bumped by every successful Apply
+	warm    warmState
 }
+
+// Typed validation errors of Compile (and, via wrapping, CompileAppro).
+var (
+	// ErrBadQuantum rejects a negative, NaN, or infinite weight quantum
+	// (zero is valid and selects the FPTAS oracle).
+	ErrBadQuantum = errors.New("gap: quantum must be zero or a positive finite value")
+	// ErrBadEps rejects a NaN eps or eps ≥ 1 (eps ≤ 0 keeps the documented
+	// 0.1 default).
+	ErrBadEps = errors.New("gap: eps must be below 1 and not NaN")
+)
 
 // DefaultMinParallelEntries is the component size (in compiled entries)
 // below which SolveOptions.Parallel falls back to the sequential sweep:
@@ -75,6 +109,12 @@ func Compile(inst *Instance, quantum, eps float64) (*Compiled, error) {
 	if inst == nil {
 		return nil, errors.New("gap: nil instance")
 	}
+	if math.IsNaN(quantum) || math.IsInf(quantum, 0) || quantum < 0 {
+		return nil, fmt.Errorf("%w (got %v)", ErrBadQuantum, quantum)
+	}
+	if math.IsNaN(eps) || eps >= 1 {
+		return nil, fmt.Errorf("%w (got %v)", ErrBadEps, eps)
+	}
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -88,6 +128,7 @@ func Compile(inst *Instance, quantum, eps float64) (*Compiled, error) {
 		Cap:      make([]float64, b),
 		Quantum:  quantum,
 		Eps:      eps,
+		shedW:    make([]bool, b),
 	}
 	total := 0
 	for i, bin := range inst.Bins {
@@ -95,10 +136,15 @@ func Compile(inst *Instance, quantum, eps float64) (*Compiled, error) {
 		for _, e := range bin.Entries {
 			if keepEntry(e, bin.Capacity) {
 				total++
+			} else if e.Profit > 0 {
+				// Dropped for weight alone: a later cap raise could make it
+				// assignable again, which a patch cannot represent.
+				c.shedW[i] = true
 			}
 		}
 		c.Off[i+1] = int32(total)
 	}
+	c.cap0 = append([]float64(nil), c.Cap...)
 	c.Item = make([]int32, total)
 	c.Profit = make([]float64, total)
 	c.Weight = make([]float64, total)
@@ -211,6 +257,22 @@ func (c *Compiled) buildComponents() {
 		c.comps = append(c.comps, bins)
 		c.compEntries = append(c.compEntries, entries)
 	}
+	// Reverse maps for the delta machinery: which component a bin belongs
+	// to, and which items each component's entries mention (so a dirty
+	// component's claims can be reset without scanning the whole instance).
+	c.binComp = make([]int32, b)
+	for ci, bins := range c.comps {
+		for _, bin := range bins {
+			c.binComp[bin] = int32(ci)
+		}
+	}
+	c.compItems = make([][]int32, len(c.comps))
+	for j, bin := range itemBin {
+		if bin >= 0 {
+			ci := c.binComp[bin]
+			c.compItems[ci] = append(c.compItems[ci], int32(j))
+		}
+	}
 }
 
 // NumComponents reports how many connected components the compiled
@@ -264,11 +326,19 @@ func putFlatScratch(s *Scratch) {
 
 // sweep runs the residual-profit local-ratio pass over the given bins,
 // claiming items into claim/itemBin. Bins outside the slice must not share
-// items with bins inside it (the component property).
+// items with bins inside it (the component property). On a patched
+// instance the candidate filter additionally skips disabled entries and
+// entries whose weight exceeds the *current* capacity — exactly the
+// entries a cold Compile of the patched instance would have dropped, so
+// patched sweeps stay bit-identical to cold ones.
 func (c *Compiled) sweep(ctx context.Context, bs *binScratch, claim []float64, itemBin []int32, bins []int32) error {
 	dpMode := c.Quantum > 0
+	patched := c.patched
 	bs.prepare(c.maxBin, dpMode)
 	for _, b := range bins {
+		if patched && c.enCount[b] == 0 {
+			continue // every entry disabled: nothing this bin could claim
+		}
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -279,6 +349,9 @@ func (c *Compiled) sweep(ctx context.Context, bs *binScratch, claim []float64, i
 		if dpMode {
 			prof, wq, pos := bs.prof, bs.wq, bs.pos
 			for k := lo; k < hi; k++ {
+				if patched && (c.off[k] || c.Weight[k] > c.Cap[b]) {
+					continue // disabled or no longer fits the patched cap
+				}
 				j := c.Item[k]
 				res := c.Profit[k] - claim[j]
 				if res <= 0 {
@@ -291,6 +364,9 @@ func (c *Compiled) sweep(ctx context.Context, bs *binScratch, claim []float64, i
 		} else {
 			prof, w, pos := bs.prof, bs.w, bs.pos
 			for k := lo; k < hi; k++ {
+				if patched && (c.off[k] || c.Weight[k] > c.Cap[b]) {
+					continue
+				}
 				j := c.Item[k]
 				res := c.Profit[k] - claim[j]
 				if res <= 0 {

@@ -1,0 +1,442 @@
+package gap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file is the incremental re-solve path: a Delta batches in-place
+// patches (budget debits via SetCap, data-cap changes, entry
+// enable/disable, window shifts) and Compiled.Apply re-solves only the
+// window components the patches touch, reusing the cached claims and
+// itemBin of every clean component.
+//
+// Correctness contract: the state Apply returns is bit-identical
+// (math.Float64bits on profits and residual budgets, exact itemBin match)
+// to cold-compiling the patched instance and solving it from scratch. The
+// argument, enforced by the differential suite in delta_test.go:
+//
+//   - A patch never adds entries: disabling hides a compiled entry and a
+//     cap decrease hides entries whose weight no longer fits, which is
+//     exactly the set a cold Compile of the patched instance drops via
+//     keepEntry. The sweep's patched filter (compiled.go) applies the
+//     same predicate per candidate, so both paths hand the knapsack
+//     oracle identical candidate slices in identical order.
+//   - Cap raises are representable only up to the compile-time capacity
+//     on bins that shed positive-profit entries for weight (shedW):
+//     beyond that a cold compile would resurrect entries the CSR no
+//     longer holds, so Apply refuses with ErrDeltaNotRepresentable and
+//     the caller recompiles cold.
+//   - The compile-time component partition stays valid under patches:
+//     patches only hide existing entries, so the true item-sharing graph
+//     of the patched instance is a subgraph — components can split
+//     (harmless: a coarser partition is still item-disjoint) but never
+//     merge. Sweeping each component's bins in ascending order therefore
+//     claims exactly what the global ascending sweep would.
+//   - Clean components saw no patch, their claims and itemBin are
+//     untouched, and components share no items — so re-sweeping only
+//     dirty components reproduces the full sweep's state verbatim.
+//   - Instance.Validate rejects per-bin duplicate (bin, item) entries, so
+//     the entry that claimed an item is unique; finalProfit and
+//     ResidualInto accumulate only claimed entries, in bin-major order in
+//     both paths, making the float sums identical operation for
+//     operation.
+
+// Delta errors. Both are returned wrapped with position context; match
+// with errors.Is.
+var (
+	// ErrDeltaNotRepresentable marks a patch the compiled form cannot
+	// express: raising a bin's capacity above its compile-time value when
+	// that bin had positive-profit entries dropped for weight — a cold
+	// compile would re-admit entries the CSR no longer stores. Recompile
+	// from the instance instead.
+	ErrDeltaNotRepresentable = errors.New("gap: delta not representable on compiled form; recompile cold")
+	// ErrBadDelta rejects malformed patches: bin index out of range, or a
+	// NaN/negative/infinite capacity.
+	ErrBadDelta = errors.New("gap: bad delta")
+)
+
+const (
+	opSetCap uint8 = iota
+	opSetDataCap
+	opEnable
+	opDisable
+	opShift
+)
+
+type deltaOp struct {
+	kind   uint8
+	bin    int32
+	lo, hi int32
+	val    float64
+}
+
+// Delta is a reusable batch of in-place patches for Compiled.Apply. The
+// zero value is an empty delta; builder methods return the receiver for
+// chaining, and Reset re-arms the delta without releasing its backing
+// array, so a long-lived Delta adds no steady-state allocations.
+type Delta struct {
+	ops []deltaOp
+}
+
+// SetCap sets bin's capacity (the budget debit primitive: debits are
+// expressed as the new absolute residual). Raising a capacity above its
+// compile-time value fails with ErrDeltaNotRepresentable if the bin shed
+// entries for weight at compile time.
+func (d *Delta) SetCap(bin int, capacity float64) *Delta {
+	d.ops = append(d.ops, deltaOp{kind: opSetCap, bin: int32(bin), val: capacity})
+	return d
+}
+
+// SetDataCap records bin's data cap. The GAP sweep does not read data
+// caps (neither does cold Compile — callers enforce them downstream, as
+// internal/online does), so this never dirties a component; it exists so
+// warm callers can keep their cap bookkeeping on the compiled instance.
+func (d *Delta) SetDataCap(bin int, capacity float64) *Delta {
+	d.ops = append(d.ops, deltaOp{kind: opSetDataCap, bin: int32(bin), val: capacity})
+	return d
+}
+
+// Enable re-enables the (bin, item) entry. Unknown pairs — never
+// compiled, or dropped at compile time — are a documented no-op.
+func (d *Delta) Enable(bin, item int) *Delta {
+	d.ops = append(d.ops, deltaOp{kind: opEnable, bin: int32(bin), lo: int32(item)})
+	return d
+}
+
+// Disable hides the (bin, item) entry from the sweep. Unknown pairs are
+// a documented no-op.
+func (d *Delta) Disable(bin, item int) *Delta {
+	d.ops = append(d.ops, deltaOp{kind: opDisable, bin: int32(bin), lo: int32(item)})
+	return d
+}
+
+// ShiftWindow sets bin's visible item window to [lo, hi]: exactly the
+// compiled entries whose item lies inside are enabled, every other entry
+// of the bin is disabled. lo > hi disables the whole bin (a departed
+// sensor).
+func (d *Delta) ShiftWindow(bin, lo, hi int) *Delta {
+	d.ops = append(d.ops, deltaOp{kind: opShift, bin: int32(bin), lo: int32(lo), hi: int32(hi)})
+	return d
+}
+
+// Reset empties the delta, keeping its capacity for reuse.
+func (d *Delta) Reset() *Delta {
+	d.ops = d.ops[:0]
+	return d
+}
+
+// Len reports the number of staged patches.
+func (d *Delta) Len() int { return len(d.ops) }
+
+// warmState is the cache Apply maintains between calls: the last solve's
+// claims, itemBin, and profit, plus the per-component dirty set.
+type warmState struct {
+	ready        bool // itemBin/claim/profit reflect the current patch state
+	itemBin      []int32
+	claim        []float64
+	profit       float64
+	dirty        []bool // per-component dirty flag
+	dirtyEntries int32  // compiled entries inside dirty components
+	anyDirty     bool
+	bs           binScratch
+}
+
+// ApplyStats reports which path an Apply took.
+type ApplyStats struct {
+	// ColdStart: no warm state existed (first Apply, or the previous one
+	// failed) — the whole instance was solved from scratch.
+	ColdStart bool
+	// NoOp: the delta changed nothing the sweep reads; the cached result
+	// was returned without solving (zero allocations in steady state).
+	NoOp bool
+	// Full: the dirty components exceeded MaxDirtyFraction of all
+	// compiled entries, so one full sweep replaced per-component solves.
+	Full bool
+	// ComponentsResolved / ComponentsClean count the incremental path's
+	// re-solved and cache-served components (both zero on the other
+	// paths).
+	ComponentsResolved int
+	ComponentsClean    int
+}
+
+// Apply patches the compiled instance in place and re-solves it
+// incrementally, returning the patched instance's assignment profit. If
+// out is non-nil it receives each item's owning bin (-1 unassigned; len
+// must be NumItems). The result is bit-identical to a cold
+// Compile+SolveInto of the patched instance (see the contract at the top
+// of this file).
+//
+// Apply mutates the receiver and must not run concurrently with any
+// other method on it. On error the instance may be partially patched and
+// the warm cache is invalidated — the next Apply cold-starts — but
+// callers holding the originating Instance should recompile instead
+// (ErrDeltaNotRepresentable means the compiled form cannot express the
+// patch at all).
+func (c *Compiled) Apply(ctx context.Context, d *Delta, out []int32) (float64, ApplyStats, error) {
+	var stats ApplyStats
+	if out != nil && len(out) != c.NumItems {
+		return 0, stats, fmt.Errorf("gap: out covers %d items, instance has %d", len(out), c.NumItems)
+	}
+	c.ensurePatchState()
+	w := &c.warm
+	if d != nil {
+		for i := range d.ops {
+			if err := c.stage(d.ops[i]); err != nil {
+				w.ready = false
+				return 0, stats, err
+			}
+		}
+	}
+	switch {
+	case !w.ready:
+		stats.ColdStart = true
+		if err := c.warmFullSolve(ctx); err != nil {
+			return 0, stats, err
+		}
+	case !w.anyDirty:
+		stats.NoOp = true
+	case c.wantFullResolve():
+		stats.Full = true
+		if err := c.warmFullSolve(ctx); err != nil {
+			return 0, stats, err
+		}
+	default:
+		for ci := range c.comps {
+			if !w.dirty[ci] {
+				stats.ComponentsClean++
+				continue
+			}
+			for _, j := range c.compItems[ci] {
+				w.claim[j] = 0
+				w.itemBin[j] = -1
+			}
+			if err := c.sweep(ctx, &w.bs, w.claim, w.itemBin, c.comps[ci]); err != nil {
+				w.ready = false
+				return 0, stats, err
+			}
+			stats.ComponentsResolved++
+		}
+		w.profit = c.finalProfit(w.itemBin)
+		c.clearDirty()
+	}
+	c.gen++
+	if out != nil {
+		copy(out, w.itemBin)
+	}
+	return w.profit, stats, nil
+}
+
+// wantFullResolve applies the MaxDirtyFraction policy to the current
+// dirty set.
+func (c *Compiled) wantFullResolve() bool {
+	thr := c.MaxDirtyFraction
+	if thr == 0 {
+		thr = 0.5
+	}
+	total := len(c.Item)
+	return thr >= 0 && total > 0 && float64(c.warm.dirtyEntries) > thr*float64(total)
+}
+
+// ensurePatchState lazily allocates the patch arrays on the first Apply;
+// until then Compiled carries no patch overhead at all.
+func (c *Compiled) ensurePatchState() {
+	if c.patched {
+		return
+	}
+	c.patched = true
+	c.off = make([]bool, len(c.Item))
+	b := len(c.Cap)
+	c.enCount = make([]int32, b)
+	for i := 0; i < b; i++ {
+		c.enCount[i] = c.Off[i+1] - c.Off[i]
+	}
+	c.dataCap = make([]float64, b)
+	for i := range c.dataCap {
+		c.dataCap[i] = math.Inf(1)
+	}
+	c.warm.dirty = make([]bool, len(c.comps))
+}
+
+// stage applies one patch to the instance arrays, marking the touched
+// component dirty only when the patch changes something the sweep reads.
+func (c *Compiled) stage(op deltaOp) error {
+	b := op.bin
+	if b < 0 || int(b) >= len(c.Cap) {
+		return fmt.Errorf("%w: bin %d out of range [0,%d)", ErrBadDelta, b, len(c.Cap))
+	}
+	switch op.kind {
+	case opSetCap:
+		v := op.val
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("%w: capacity %v for bin %d", ErrBadDelta, v, b)
+		}
+		if v > c.cap0[b] && c.shedW[b] {
+			return fmt.Errorf("%w: bin %d capacity %v above compile-time %v with shed entries",
+				ErrDeltaNotRepresentable, b, v, c.cap0[b])
+		}
+		if v == c.Cap[b] {
+			return nil
+		}
+		c.Cap[b] = v
+		if c.Quantum > 0 {
+			c.CapU[b] = int32(min(math.Floor(v/c.Quantum), math.MaxInt32))
+		}
+		c.markDirty(b)
+	case opSetDataCap:
+		v := op.val
+		if math.IsNaN(v) || v < 0 {
+			return fmt.Errorf("%w: data cap %v for bin %d", ErrBadDelta, v, b)
+		}
+		c.dataCap[b] = v // bookkeeping only — never dirties (see SetDataCap)
+	case opEnable, opDisable:
+		k := c.findEntry(b, op.lo)
+		if k < 0 {
+			return nil // unknown (bin, item): documented no-op
+		}
+		if c.setOff(k, b, op.kind == opDisable) {
+			c.markDirty(b)
+		}
+	case opShift:
+		changed := false
+		for k := c.Off[b]; k < c.Off[b+1]; k++ {
+			on := c.Item[k] >= op.lo && c.Item[k] <= op.hi
+			if c.setOff(k, b, !on) {
+				changed = true
+			}
+		}
+		if changed {
+			c.markDirty(b)
+		}
+	default:
+		return fmt.Errorf("%w: unknown op kind %d", ErrBadDelta, op.kind)
+	}
+	return nil
+}
+
+// setOff flips entry k's disabled flag, maintaining the bin's enabled
+// count; reports whether anything changed.
+func (c *Compiled) setOff(k, b int32, off bool) bool {
+	if c.off[k] == off {
+		return false
+	}
+	c.off[k] = off
+	if off {
+		c.enCount[b]--
+	} else {
+		c.enCount[b]++
+	}
+	return true
+}
+
+// markDirty flags bin b's component for re-solve.
+func (c *Compiled) markDirty(b int32) {
+	w := &c.warm
+	ci := c.binComp[b]
+	if !w.dirty[ci] {
+		w.dirty[ci] = true
+		w.dirtyEntries += c.compEntries[ci]
+		w.anyDirty = true
+	}
+}
+
+func (c *Compiled) clearDirty() {
+	w := &c.warm
+	if !w.anyDirty {
+		return
+	}
+	for i := range w.dirty {
+		w.dirty[i] = false
+	}
+	w.anyDirty = false
+	w.dirtyEntries = 0
+}
+
+// findEntry locates bin b's compiled entry for item, -1 if none.
+func (c *Compiled) findEntry(b, item int32) int32 {
+	for k := c.Off[b]; k < c.Off[b+1]; k++ {
+		if c.Item[k] == item {
+			return k
+		}
+	}
+	return -1
+}
+
+// warmFullSolve re-solves everything into the warm cache (sequential
+// sweep; the warm path trades component parallelism for claim reuse).
+func (c *Compiled) warmFullSolve(ctx context.Context) error {
+	w := &c.warm
+	if cap(w.itemBin) < c.NumItems {
+		w.itemBin = make([]int32, c.NumItems)
+		w.claim = make([]float64, c.NumItems)
+	}
+	w.itemBin = w.itemBin[:c.NumItems]
+	w.claim = w.claim[:c.NumItems]
+	for j := range w.claim {
+		w.claim[j] = 0
+	}
+	for j := range w.itemBin {
+		w.itemBin[j] = -1
+	}
+	if err := c.sweep(ctx, &w.bs, w.claim, w.itemBin, c.allBins); err != nil {
+		w.ready = false
+		return err
+	}
+	w.profit = c.finalProfit(w.itemBin)
+	w.ready = true
+	c.clearDirty()
+	return nil
+}
+
+// Generation reports how many Applies have succeeded on this instance —
+// the cache key warm wrappers combine with the instance pointer.
+func (c *Compiled) Generation() uint64 { return c.gen }
+
+// DataCapOf reports bin's recorded data cap (+Inf when never set).
+func (c *Compiled) DataCapOf(bin int) float64 {
+	if !c.patched {
+		return math.Inf(1)
+	}
+	return c.dataCap[bin]
+}
+
+// Remake reconstructs a plain Instance from the current patched state —
+// current capacities, disabled entries omitted — for cold-reference
+// verification and for recompiling after ErrDeltaNotRepresentable.
+func (c *Compiled) Remake() *Instance {
+	inst := &Instance{NumItems: c.NumItems, Bins: make([]Bin, len(c.Cap))}
+	for b := range c.Cap {
+		bin := Bin{Capacity: c.Cap[b]}
+		for k := c.Off[b]; k < c.Off[b+1]; k++ {
+			if c.patched && c.off[k] {
+				continue
+			}
+			bin.Entries = append(bin.Entries, Entry{
+				Item:   int(c.Item[k]),
+				Profit: c.Profit[k],
+				Weight: c.Weight[k],
+			})
+		}
+		inst.Bins[b] = bin
+	}
+	return inst
+}
+
+// ResidualInto writes each bin's residual capacity under itemBin into
+// out (len must cover the bins), subtracting claimed entry weights in
+// bin-major compiled order — the same float-operation sequence a cold
+// compile of the patched instance produces, so residuals compare equal
+// under math.Float64bits across the warm and cold paths.
+func (c *Compiled) ResidualInto(itemBin []int32, out []float64) {
+	for b := range c.Cap {
+		r := c.Cap[b]
+		for k := c.Off[b]; k < c.Off[b+1]; k++ {
+			if itemBin[c.Item[k]] == int32(b) {
+				r -= c.Weight[k]
+			}
+		}
+		out[b] = r
+	}
+}

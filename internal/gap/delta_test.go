@@ -1,0 +1,607 @@
+package gap
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// deltaModel tracks patch state independently of the code under test: it
+// holds the ORIGINAL instance plus per-entry enabled flags and current
+// capacities, and materializes the patched instance for cold-reference
+// compiles. Toggling entries the compiler dropped (dead profit/weight) is
+// deliberately allowed — a cold compile drops them again regardless, which
+// is exactly why Compiled.Apply may treat unknown pairs as no-ops.
+type deltaModel struct {
+	inst *Instance
+	cap  []float64
+	en   [][]bool
+}
+
+func newDeltaModel(inst *Instance) *deltaModel {
+	m := &deltaModel{
+		inst: inst,
+		cap:  make([]float64, len(inst.Bins)),
+		en:   make([][]bool, len(inst.Bins)),
+	}
+	for b, bin := range inst.Bins {
+		m.cap[b] = bin.Capacity
+		m.en[b] = make([]bool, len(bin.Entries))
+		for i := range m.en[b] {
+			m.en[b][i] = true
+		}
+	}
+	return m
+}
+
+func (m *deltaModel) setCap(b int, v float64) { m.cap[b] = v }
+
+func (m *deltaModel) setEnabled(b, item int, on bool) {
+	for i, e := range m.inst.Bins[b].Entries {
+		if e.Item == item {
+			m.en[b][i] = on
+		}
+	}
+}
+
+func (m *deltaModel) shift(b, lo, hi int) {
+	for i, e := range m.inst.Bins[b].Entries {
+		m.en[b][i] = e.Item >= lo && e.Item <= hi
+	}
+}
+
+// patched materializes the instance the tracked patches describe.
+func (m *deltaModel) patched() *Instance {
+	out := &Instance{NumItems: m.inst.NumItems, Bins: make([]Bin, len(m.inst.Bins))}
+	for b, bin := range m.inst.Bins {
+		nb := Bin{Capacity: m.cap[b]}
+		for i, e := range bin.Entries {
+			if m.en[b][i] {
+				nb.Entries = append(nb.Entries, e)
+			}
+		}
+		out.Bins[b] = nb
+	}
+	return out
+}
+
+// checkAgainstCold is the bit-exactness oracle: cold-compile the model's
+// patched instance, solve it from scratch, and demand Float64bits
+// equality on profit and residual budgets plus an exact itemBin match.
+func checkAgainstCold(t testing.TB, c *Compiled, m *deltaModel, gotProfit float64, gotItemBin []int32) {
+	t.Helper()
+	ref, err := Compile(m.patched(), c.Quantum, c.Eps)
+	if err != nil {
+		t.Fatalf("cold compile of patched instance: %v", err)
+	}
+	wantItemBin := make([]int32, ref.NumItems)
+	wantProfit, err := ref.SolveInto(context.Background(), nil, wantItemBin, SolveOptions{})
+	if err != nil {
+		t.Fatalf("cold solve of patched instance: %v", err)
+	}
+	if math.Float64bits(gotProfit) != math.Float64bits(wantProfit) {
+		t.Fatalf("warm profit %v (bits %x) != cold %v (bits %x)",
+			gotProfit, math.Float64bits(gotProfit), wantProfit, math.Float64bits(wantProfit))
+	}
+	if !reflect.DeepEqual(gotItemBin, wantItemBin) {
+		t.Fatalf("warm itemBin %v != cold %v", gotItemBin, wantItemBin)
+	}
+	gotRes := make([]float64, len(c.Cap))
+	wantRes := make([]float64, len(c.Cap))
+	c.ResidualInto(gotItemBin, gotRes)
+	ref.ResidualInto(wantItemBin, wantRes)
+	for b := range gotRes {
+		if math.Float64bits(gotRes[b]) != math.Float64bits(wantRes[b]) {
+			t.Fatalf("bin %d: warm residual %v != cold %v", b, gotRes[b], wantRes[b])
+		}
+		if gotRes[b] < -1e-9 {
+			t.Fatalf("bin %d: infeasible residual %v", b, gotRes[b])
+		}
+	}
+}
+
+// randomStep stages one random patch on both the delta and the model.
+// Capacities stay below the compile-time value so the chain never trips
+// ErrDeltaNotRepresentable (that guard has its own test).
+func randomStep(rng *rand.Rand, c *Compiled, m *deltaModel, d *Delta) {
+	b := rng.Intn(len(c.Cap))
+	switch rng.Intn(5) {
+	case 0: // budget debit / partial restore
+		v := c.cap0[b] * rng.Float64()
+		d.SetCap(b, v)
+		m.setCap(b, v)
+	case 1: // window shift (occasionally empty)
+		lo := rng.Intn(c.NumItems)
+		hi := lo + rng.Intn(8) - 1
+		d.ShiftWindow(b, lo, hi)
+		m.shift(b, lo, hi)
+	case 2:
+		item := rng.Intn(c.NumItems)
+		d.Disable(b, item)
+		m.setEnabled(b, item, false)
+	case 3:
+		item := rng.Intn(c.NumItems)
+		d.Enable(b, item)
+		m.setEnabled(b, item, true)
+	case 4: // data caps never perturb the solve
+		d.SetDataCap(b, rng.Float64()*10)
+	}
+}
+
+// TestApplyDifferential is the headline contract: 240 seeded delta chains
+// (6 shapes × 40 seeds, DP and FPTAS oracles), each a dozen Applies of
+// mixed debit/shift/disable patches, every one compared bit-for-bit
+// against a cold Compile+SolveInto of the patched instance.
+func TestApplyDifferential(t *testing.T) {
+	configs := []struct {
+		bins, items int
+		quantum     float64
+	}{
+		{8, 20, 0.05}, {20, 40, 0.05}, {40, 60, 0.05},
+		{8, 20, 0}, {20, 40, 0}, {40, 60, 0},
+	}
+	ctx := context.Background()
+	chains := 0
+	for ci, cfg := range configs {
+		for seed := int64(0); seed < 40; seed++ {
+			inst := windowedInstance(seed+int64(ci)*1000, cfg.bins, cfg.items)
+			c, err := Compile(inst, cfg.quantum, 0.25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := newDeltaModel(inst)
+			rng := rand.New(rand.NewSource(seed * 7919))
+			out := make([]int32, c.NumItems)
+			p, st, err := c.Apply(ctx, nil, out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.ColdStart {
+				t.Fatal("first Apply must cold-start")
+			}
+			checkAgainstCold(t, c, m, p, out)
+			var d Delta
+			gen := c.Generation()
+			for step := 0; step < 12; step++ {
+				d.Reset()
+				for n := 1 + rng.Intn(3); n > 0; n-- {
+					randomStep(rng, c, m, &d)
+				}
+				p, st, err = c.Apply(ctx, &d, out)
+				if err != nil {
+					t.Fatalf("config %d seed %d step %d: %v", ci, seed, step, err)
+				}
+				if st.ColdStart {
+					t.Fatalf("config %d seed %d step %d: unexpected cold start", ci, seed, step)
+				}
+				if g := c.Generation(); g != gen+1 {
+					t.Fatalf("generation %d after apply, want %d", g, gen+1)
+				}
+				gen++
+				checkAgainstCold(t, c, m, p, out)
+			}
+			chains++
+		}
+	}
+	if chains < 200 {
+		t.Fatalf("only %d delta chains exercised, acceptance floor is 200", chains)
+	}
+}
+
+// FuzzCompiledApply feeds byte-program delta sequences to seeded
+// instances: no panics, every intermediate state feasible and bit-equal
+// to cold-compiling the mutated instance.
+func FuzzCompiledApply(f *testing.F) {
+	f.Add(int64(1), []byte{0, 1, 128, 0, 0, 0})
+	f.Add(int64(2), []byte{1, 0, 3, 4, 0, 0, 2, 1, 5, 0, 0, 0})
+	f.Add(int64(7), []byte{4, 2, 9, 0, 0, 0, 3, 2, 9, 0, 0, 0, 0, 2, 40, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, seed int64, prog []byte) {
+		const opLen = 6
+		if len(prog) > opLen*32 {
+			prog = prog[:opLen*32]
+		}
+		bins := 4 + int(uint64(seed)%9)
+		items := 12 + int(uint64(seed)%21)
+		inst := windowedInstance(seed, bins, items)
+		quantum := 0.0
+		if seed&1 == 0 {
+			quantum = 0.05
+		}
+		c, err := Compile(inst, quantum, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := newDeltaModel(inst)
+		ctx := context.Background()
+		out := make([]int32, c.NumItems)
+		if _, _, err := c.Apply(ctx, nil, out); err != nil {
+			t.Fatal(err)
+		}
+		var d Delta
+		for off := 0; off+opLen <= len(prog); off += opLen {
+			d.Reset()
+			b := int(prog[off+1]) % bins
+			switch prog[off] % 5 {
+			case 0: // debit bounded by the compile-time cap: always representable
+				v := c.cap0[b] * float64(prog[off+2]) / 255
+				d.SetCap(b, v)
+				m.setCap(b, v)
+			case 1:
+				lo := int(prog[off+2]) % items
+				hi := lo + int(prog[off+3]%8) - 1
+				d.ShiftWindow(b, lo, hi)
+				m.shift(b, lo, hi)
+			case 2:
+				item := int(prog[off+2]) % items
+				d.Disable(b, item)
+				m.setEnabled(b, item, false)
+			case 3:
+				item := int(prog[off+2]) % items
+				d.Enable(b, item)
+				m.setEnabled(b, item, true)
+			case 4:
+				d.SetDataCap(b, float64(prog[off+2]))
+			}
+			p, _, err := c.Apply(ctx, &d, out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstCold(t, c, m, p, out)
+		}
+	})
+}
+
+// TestApplyEmptyDeltaZeroAllocs pins the no-op contract: once warm, an
+// empty delta returns the cached result without allocating.
+func TestApplyEmptyDeltaZeroAllocs(t *testing.T) {
+	inst := windowedInstance(3, 24, 40)
+	c, err := Compile(inst, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	out := make([]int32, c.NumItems)
+	var d Delta
+	base, st, err := c.Apply(ctx, &d, out)
+	if err != nil || !st.ColdStart {
+		t.Fatalf("prime: profit %v stats %+v err %v", base, st, err)
+	}
+	var bad error
+	var notNoOp bool
+	allocs := testing.AllocsPerRun(100, func() {
+		p, st, err := c.Apply(ctx, &d, out)
+		if err != nil {
+			bad = err
+		}
+		if !st.NoOp || p != base {
+			notNoOp = true
+		}
+	})
+	if bad != nil {
+		t.Fatal(bad)
+	}
+	if notNoOp {
+		t.Fatal("warm empty-delta Apply did not take the cached no-op path")
+	}
+	if allocs != 0 {
+		t.Fatalf("no-op Apply allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestApplyIncrementalZeroAllocs extends the pin to the real incremental
+// path: alternating budget debits on one bin re-solve its component with
+// zero steady-state allocations.
+func TestApplyIncrementalZeroAllocs(t *testing.T) {
+	inst := windowedInstance(5, 24, 40)
+	c, err := Compile(inst, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MaxDirtyFraction = -1 // always per-component
+	ctx := context.Background()
+	out := make([]int32, c.NumItems)
+	caps := [2]float64{c.cap0[0] * 0.5, c.cap0[0] * 0.9}
+	var d Delta
+	for i := 0; i < 2; i++ { // prime both sizes (arena + staging growth)
+		d.Reset().SetCap(0, caps[i])
+		if _, _, err := c.Apply(ctx, &d, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var bad error
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		i++
+		d.Reset().SetCap(0, caps[i%2])
+		if _, _, err := c.Apply(ctx, &d, out); err != nil {
+			bad = err
+		}
+	})
+	if bad != nil {
+		t.Fatal(bad)
+	}
+	if allocs != 0 {
+		t.Fatalf("incremental Apply allocated %v times per run, want 0", allocs)
+	}
+}
+
+// twoCompInstance has two item-disjoint components: bins {0,1} over items
+// 0–3, bins {2,3} over items 4–7.
+func twoCompInstance() *Instance {
+	return &Instance{
+		NumItems: 8,
+		Bins: []Bin{
+			{Capacity: 1.0, Entries: []Entry{
+				{Item: 0, Profit: 2, Weight: 0.4}, {Item: 1, Profit: 1, Weight: 0.5},
+				{Item: 2, Profit: 3, Weight: 0.6},
+			}},
+			{Capacity: 1.2, Entries: []Entry{
+				{Item: 1, Profit: 2.5, Weight: 0.7}, {Item: 3, Profit: 1.5, Weight: 0.8},
+			}},
+			{Capacity: 0.9, Entries: []Entry{
+				{Item: 4, Profit: 2, Weight: 0.3}, {Item: 5, Profit: 1, Weight: 0.4},
+			}},
+			{Capacity: 1.5, Entries: []Entry{
+				{Item: 5, Profit: 3, Weight: 0.9}, {Item: 6, Profit: 2, Weight: 0.5},
+				{Item: 7, Profit: 1, Weight: 0.6},
+			}},
+		},
+	}
+}
+
+// TestApplyComponentIsolation: a patch on one component re-solves only
+// that component and leaves the other's assignment untouched.
+func TestApplyComponentIsolation(t *testing.T) {
+	inst := twoCompInstance()
+	c, err := Compile(inst, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumComponents() != 2 {
+		t.Fatalf("NumComponents = %d, want 2", c.NumComponents())
+	}
+	c.MaxDirtyFraction = -1
+	ctx := context.Background()
+	m := newDeltaModel(inst)
+	out := make([]int32, c.NumItems)
+	if _, _, err := c.Apply(ctx, nil, out); err != nil {
+		t.Fatal(err)
+	}
+	before := append([]int32(nil), out...)
+	var d Delta
+	d.SetCap(0, 0.5)
+	m.setCap(0, 0.5)
+	p, st, err := c.Apply(ctx, &d, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ComponentsResolved != 1 || st.ComponentsClean != 1 {
+		t.Fatalf("stats %+v, want 1 resolved / 1 clean", st)
+	}
+	if st.Full || st.ColdStart || st.NoOp {
+		t.Fatalf("stats %+v, want the incremental path", st)
+	}
+	for j := 4; j < 8; j++ { // second component's items must be untouched
+		if out[j] != before[j] {
+			t.Fatalf("item %d moved from bin %d to %d despite its component being clean", j, before[j], out[j])
+		}
+	}
+	checkAgainstCold(t, c, m, p, out)
+}
+
+// TestApplyFullFallback: a dirty fraction above MaxDirtyFraction demotes
+// the incremental path to one full sweep — same bits, different route.
+func TestApplyFullFallback(t *testing.T) {
+	inst := twoCompInstance()
+	c, err := Compile(inst, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MaxDirtyFraction = 1e-9
+	ctx := context.Background()
+	m := newDeltaModel(inst)
+	out := make([]int32, c.NumItems)
+	if _, _, err := c.Apply(ctx, nil, out); err != nil {
+		t.Fatal(err)
+	}
+	var d Delta
+	d.SetCap(0, 0.5)
+	m.setCap(0, 0.5)
+	p, st, err := c.Apply(ctx, &d, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Full || st.ComponentsResolved != 0 {
+		t.Fatalf("stats %+v, want the full-fallback path", st)
+	}
+	checkAgainstCold(t, c, m, p, out)
+}
+
+// TestApplyNotRepresentable: raising a shed bin's capacity above its
+// compile-time value must refuse, and the instance must recover (next
+// Apply cold-starts and still matches the cold reference).
+func TestApplyNotRepresentable(t *testing.T) {
+	inst := &Instance{
+		NumItems: 2,
+		Bins: []Bin{{Capacity: 1, Entries: []Entry{
+			{Item: 0, Profit: 2, Weight: 0.5},
+			{Item: 1, Profit: 3, Weight: 1.5}, // positive profit shed for weight
+		}}},
+	}
+	c, err := Compile(inst, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	out := make([]int32, c.NumItems)
+	if _, _, err := c.Apply(ctx, nil, out); err != nil {
+		t.Fatal(err)
+	}
+	gen := c.Generation()
+	var d Delta
+	d.SetCap(0, 2) // would re-admit the shed entry
+	if _, _, err := c.Apply(ctx, &d, out); !errors.Is(err, ErrDeltaNotRepresentable) {
+		t.Fatalf("got %v, want ErrDeltaNotRepresentable", err)
+	}
+	if c.Generation() != gen {
+		t.Fatal("failed Apply bumped the generation")
+	}
+	// Lowering within the compile-time cap stays representable, and the
+	// post-error Apply recovers via a cold start.
+	m := newDeltaModel(inst)
+	d.Reset().SetCap(0, 0.8)
+	m.setCap(0, 0.8)
+	p, st, err := c.Apply(ctx, &d, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.ColdStart {
+		t.Fatalf("stats %+v, want cold start after a failed Apply", st)
+	}
+	checkAgainstCold(t, c, m, p, out)
+}
+
+func TestApplyBadDelta(t *testing.T) {
+	inst := twoCompInstance()
+	ctx := context.Background()
+	cases := []struct {
+		name  string
+		build func(d *Delta)
+	}{
+		{"bin below range", func(d *Delta) { d.SetCap(-1, 1) }},
+		{"bin above range", func(d *Delta) { d.Disable(99, 0) }},
+		{"NaN capacity", func(d *Delta) { d.SetCap(0, math.NaN()) }},
+		{"negative capacity", func(d *Delta) { d.SetCap(0, -0.5) }},
+		{"infinite capacity", func(d *Delta) { d.SetCap(0, math.Inf(1)) }},
+		{"NaN data cap", func(d *Delta) { d.SetDataCap(0, math.NaN()) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := Compile(inst, 0.05, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var d Delta
+			tc.build(&d)
+			if _, _, err := c.Apply(ctx, &d, nil); !errors.Is(err, ErrBadDelta) {
+				t.Fatalf("got %v, want ErrBadDelta", err)
+			}
+		})
+	}
+	c, err := Compile(inst, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Apply(ctx, nil, make([]int32, 3)); err == nil {
+		t.Fatal("expected error for short out slice")
+	}
+}
+
+// TestCompileValidatesQuantumEps is the satellite fix: Compile used to
+// silently accept NaN/negative quantum and NaN/≥1 eps.
+func TestCompileValidatesQuantumEps(t *testing.T) {
+	inst := windowedInstance(1, 4, 8)
+	cases := []struct {
+		name         string
+		quantum, eps float64
+		wantErr      error
+	}{
+		{"negative quantum", -1, 0.1, ErrBadQuantum},
+		{"NaN quantum", math.NaN(), 0.1, ErrBadQuantum},
+		{"+Inf quantum", math.Inf(1), 0.1, ErrBadQuantum},
+		{"-Inf quantum", math.Inf(-1), 0.1, ErrBadQuantum},
+		{"NaN eps", 0.05, math.NaN(), ErrBadEps},
+		{"eps of one", 0.05, 1, ErrBadEps},
+		{"eps above one", 0, 1.5, ErrBadEps},
+		{"+Inf eps", 0, math.Inf(1), ErrBadEps},
+		{"zero quantum selects FPTAS", 0, 0.25, nil},
+		{"zero eps keeps default", 0.05, 0, nil},
+		{"negative eps keeps default", 0, -3, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := Compile(inst, tc.quantum, tc.eps)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("Compile(%v, %v) = %v, want %v", tc.quantum, tc.eps, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Compile(%v, %v): %v", tc.quantum, tc.eps, err)
+			}
+			if tc.eps <= 0 && c.Eps != 0.1 {
+				t.Fatalf("eps %v did not resolve to the 0.1 default (got %v)", tc.eps, c.Eps)
+			}
+		})
+	}
+}
+
+// TestRemakeRoundTrip: Remake of a patched instance recompiles to the
+// same solve the warm path reports.
+func TestRemakeRoundTrip(t *testing.T) {
+	inst := windowedInstance(11, 16, 30)
+	c, err := Compile(inst, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	out := make([]int32, c.NumItems)
+	var d Delta
+	d.SetCap(2, c.cap0[2]*0.6).ShiftWindow(5, 3, 9).Disable(1, 4)
+	p, _, err := c.Apply(ctx, &d, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Compile(c.Remake(), c.Quantum, c.Eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOut := make([]int32, ref.NumItems)
+	refP, err := ref.SolveInto(ctx, nil, refOut, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(p) != math.Float64bits(refP) || !reflect.DeepEqual(out, refOut) {
+		t.Fatalf("Remake recompile diverged: warm %v vs cold %v", p, refP)
+	}
+}
+
+// TestDataCapBookkeeping: data caps are recorded, readable, and inert.
+func TestDataCapBookkeeping(t *testing.T) {
+	inst := twoCompInstance()
+	c, err := Compile(inst, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DataCapOf(0); !math.IsInf(got, 1) {
+		t.Fatalf("DataCapOf before any patch = %v, want +Inf", got)
+	}
+	ctx := context.Background()
+	out := make([]int32, c.NumItems)
+	base, _, err := c.Apply(ctx, nil, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Delta
+	d.SetDataCap(1, 3.5)
+	p, st, err := c.Apply(ctx, &d, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.NoOp {
+		t.Fatalf("stats %+v: a pure data-cap delta must be a solve no-op", st)
+	}
+	if math.Float64bits(p) != math.Float64bits(base) {
+		t.Fatalf("data cap changed the profit: %v -> %v", base, p)
+	}
+	if got := c.DataCapOf(1); got != 3.5 {
+		t.Fatalf("DataCapOf(1) = %v, want 3.5", got)
+	}
+	if got := c.DataCapOf(0); !math.IsInf(got, 1) {
+		t.Fatalf("DataCapOf(0) = %v, want +Inf", got)
+	}
+}

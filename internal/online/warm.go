@@ -1,0 +1,68 @@
+package online
+
+import (
+	"context"
+
+	"mobisink/internal/core"
+)
+
+// WarmAppro is the warm-started variant of the Appro scheduler
+// (Online_Appro_Warm): instead of building and solving a fresh GAP
+// instance per interval, it compiles the tour-wide Appro reduction once
+// and expresses each interval's registrations as a delta — budgets
+// debited, windows clipped to the interval, departed sensors disabled —
+// re-solving only the window components the interval touched
+// (core.WarmSolver over gap.Compiled.Apply).
+//
+// Its assignments legitimately differ from Appro's: Appro orders each
+// interval's bins by clipped window, WarmAppro inherits the offline
+// (Start, End) order of the tour-wide reduction. Both respect budgets
+// and clipped windows; the warm path's contract is bit-equality with a
+// cold solve of the same patched tour-wide instance (SelfCheck), not
+// with Appro.
+//
+// WarmAppro carries per-tour solver state, so one instance must not be
+// shared by concurrent tours.
+type WarmAppro struct {
+	Opts core.Options
+	// SelfCheck makes every interval verify the warm solve bit-for-bit
+	// against a cold compile of the patched instance (slow; for tests).
+	SelfCheck bool
+
+	ws      core.WarmSolver
+	patches []core.SensorPatch
+	started bool
+}
+
+// Name implements Scheduler.
+func (a *WarmAppro) Name() string { return "Online_Appro_Warm" }
+
+// Schedule implements Scheduler.
+func (a *WarmAppro) Schedule(ctx context.Context, inst *core.Instance, iv Interval, regs []Registration) (map[int]int, error) {
+	if !a.started {
+		a.ws.Opts = a.Opts
+		a.ws.SelfCheck = a.SelfCheck
+		a.started = true
+	}
+	a.patches = a.patches[:0]
+	for _, r := range regs {
+		a.patches = append(a.patches, core.SensorPatch{
+			Sensor:  r.Sensor,
+			Budget:  r.Budget,
+			DataCap: r.DataLeft,
+			Lo:      r.ClipStart,
+			Hi:      r.ClipEnd,
+		})
+	}
+	res, err := a.ws.Apply(ctx, inst, a.patches)
+	if err != nil {
+		return nil, err
+	}
+	assign := make(map[int]int)
+	for j := iv.Start; j <= iv.End && j < len(res.SlotSensor); j++ {
+		if s := res.SlotSensor[j]; s >= 0 {
+			assign[j] = int(s)
+		}
+	}
+	return assign, nil
+}

@@ -1,0 +1,76 @@
+package online
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mobisink/internal/radio"
+)
+
+// TestWarmApproTourMetamorphic is the online-loop metamorphic check:
+// with SelfCheck armed, every interval's warm solve is re-derived by
+// cold-compiling the debited/clipped instance and compared bit-for-bit
+// (profit via Float64bits, exact slot owners) inside the scheduler. Any
+// divergence fails the tour.
+func TestWarmApproTourMetamorphic(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		inst := paperInstance(t, 60, seed, radio.Paper2013(), 5, 1)
+		res, err := Run(inst, &WarmAppro{SelfCheck: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Data <= 0 {
+			t.Fatalf("seed %d: no data collected", seed)
+		}
+		if v, err := inst.Validate(res.Alloc); err != nil || math.Abs(v-res.Data) > 1e-6 {
+			t.Fatalf("seed %d: allocation invalid: %v (v=%v data=%v)", seed, err, v, res.Data)
+		}
+		if err := res.CheckLemma1(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		for i, r := range res.Residual {
+			if r < 0 || r > inst.Sensors[i].Budget+1e-12 {
+				t.Fatalf("seed %d: sensor %d residual %v outside [0, %v]", seed, i, r, inst.Sensors[i].Budget)
+			}
+		}
+	}
+}
+
+// TestWarmApproDeterministic: two independent warm tours over the same
+// instance produce identical allocations.
+func TestWarmApproDeterministic(t *testing.T) {
+	inst := paperInstance(t, 80, 42, radio.Paper2013(), 5, 1)
+	a, err := Run(inst, &WarmAppro{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(inst, &WarmAppro{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Alloc.SlotOwner, b.Alloc.SlotOwner) {
+		t.Fatal("warm tours diverged on identical instances")
+	}
+	if a.Data != b.Data {
+		t.Fatalf("warm tours collected %v vs %v bits", a.Data, b.Data)
+	}
+}
+
+// TestWarmApproComparableToAppro: the warm scheduler solves the same
+// per-interval problems as Appro under a different (offline) bin order;
+// its tour yield must land in the same ballpark, not collapse.
+func TestWarmApproComparableToAppro(t *testing.T) {
+	inst := paperInstance(t, 100, 7, radio.Paper2013(), 5, 1)
+	warm, err := Run(inst, &WarmAppro{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Run(inst, &Appro{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Data < 0.5*cold.Data {
+		t.Fatalf("warm tour collected %v bits vs Appro's %v — below the shared approximation floor", warm.Data, cold.Data)
+	}
+}

@@ -144,6 +144,13 @@ func init() {
 			return runOnline(ctx, inst, &online.Appro{Opts: o.Core}, o.Online)
 		}}
 	})
+	Register("Online_Appro_Warm", func(o Options) Solver {
+		return &funcSolver{"Online_Appro_Warm", func(ctx context.Context, inst *core.Instance) (*core.Allocation, error) {
+			// The warm scheduler carries per-tour state, so each Solve gets
+			// its own — Batch shares one Solver across pool goroutines.
+			return runOnline(ctx, inst, &online.WarmAppro{Opts: o.Core}, o.Online)
+		}}
+	})
 	Register("Online_MaxMatch", func(o Options) Solver {
 		return &funcSolver{"Online_MaxMatch", func(ctx context.Context, inst *core.Instance) (*core.Allocation, error) {
 			return runOnline(ctx, inst, &online.MaxMatch{}, o.Online)

@@ -61,7 +61,7 @@ func fixedPowerInstance(tb testing.TB, n int, seed int64, speed, tau float64) *c
 func TestRegistryNames(t *testing.T) {
 	want := []string{
 		"Offline_Appro", "Offline_Greedy", "Offline_MaxMatch", "Offline_Sequential",
-		"Online_Appro", "Online_Greedy", "Online_MaxMatch", "Online_Sequential",
+		"Online_Appro", "Online_Appro_Warm", "Online_Greedy", "Online_MaxMatch", "Online_Sequential",
 	}
 	got := Names()
 	if !reflect.DeepEqual(got, want) {
@@ -230,5 +230,6 @@ func BenchmarkSolvers(b *testing.B) {
 	b.Run("Offline_Greedy", func(b *testing.B) { benchSolver(b, "Offline_Greedy", Options{}) })
 	b.Run("Offline_Sequential", func(b *testing.B) { benchSolver(b, "Offline_Sequential", Options{}) })
 	b.Run("Online_Appro", func(b *testing.B) { benchSolver(b, "Online_Appro", Options{}) })
+	b.Run("Online_Appro_Warm", func(b *testing.B) { benchSolver(b, "Online_Appro_Warm", Options{}) })
 	b.Run("Online_Appro_Degraded", func(b *testing.B) { benchSolver(b, "Online_Appro", degraded) })
 }
