@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-metrics test-fault test-wire test-race vet check bench bench-all bench-compare bench-compare-short cover cover-all experiments examples clean fuzz-wire fuzz-gap
+.PHONY: all build test test-metrics test-fault test-wire test-race vet check bench bench-all bench-compare bench-compare-short cover cover-all experiments examples clean fuzz-wire fuzz-gap fuzz-fleet
 
 all: build vet test
 
@@ -44,6 +44,12 @@ fuzz-wire:
 # to a cold compile of the patched instance.
 fuzz-gap:
 	$(GO) test -run '^$$' -fuzz FuzzCompiledApply -fuzztime 30s ./internal/gap
+
+# Short fuzz pass over the fleet instance builder: random (n, K, speed, τ)
+# deployments must build joint instances whose sink offsets, windows, and
+# absolute-slot bookkeeping stay internally consistent.
+fuzz-fleet:
+	$(GO) test -run '^$$' -fuzz FuzzFleetBuild -fuzztime 30s ./internal/core
 
 # Robustness gate: the fault-injection layer, the self-healing online
 # protocol, and the hardened serving path under the race detector
@@ -96,8 +102,10 @@ bench-compare-short:
 # Coverage gate (part of the default `test` target): per-package floors
 # on the solving and protocol packages, committed as the baseline below
 # measured coverage at the time of writing (gap 94.4, knapsack 93.3,
-# online 91.9, wire 84.3). Raise the floors when coverage rises.
-COVER_FLOORS = internal/gap:92 internal/knapsack:91 internal/online:89 internal/wire:80
+# online 91.9, wire 84.3, matching 99.3, core 84.6). Raise the floors
+# when coverage rises.
+COVER_FLOORS = internal/gap:92 internal/knapsack:91 internal/online:89 internal/wire:80 \
+	internal/matching:96 internal/core:81
 
 cover:
 	@fail=0; for spec in $(COVER_FLOORS); do \
@@ -125,6 +133,7 @@ examples:
 	$(GO) run ./examples/curvedroad
 	$(GO) run ./examples/trafficload
 	$(GO) run ./examples/highway
+	$(GO) run ./examples/twinsinks
 
 clean:
 	rm -f test_output.txt bench_output.txt BENCH_solvers.json

@@ -4,8 +4,8 @@
 //
 // It reads the benchmark log on stdin and writes a JSON array; lines that
 // are not benchmark results (the ok/PASS trailer, goos/goarch headers)
-// are ignored. Sub-benchmark paths are split on "/" and an N=<size>
-// component, when present, is lifted into its own field:
+// are ignored. Sub-benchmark paths are split on "/" and N=<size> and
+// K=<fleet> components, when present, are lifted into their own fields:
 //
 //	go test -bench BenchmarkSolvers -benchmem ./internal/solve | benchjson -o BENCH_solvers.json
 //
@@ -50,6 +50,9 @@ type Result struct {
 	// N is the problem size parsed from an "N=<int>" path component;
 	// 0 when the benchmark has none.
 	N int `json:"n,omitempty"`
+	// K is the sink fleet size parsed from a "K=<int>" path component;
+	// 0 when the benchmark is single-sink.
+	K int `json:"k,omitempty"`
 	// Degraded marks the fallback-scheduler rows (a "_Degraded" case
 	// suffix), so overhead comparisons against the primary solver rows
 	// need no name parsing downstream.
@@ -86,6 +89,11 @@ func parseLine(line string) (Result, bool) {
 		if v, ok := strings.CutPrefix(p, "N="); ok {
 			if n, err := strconv.Atoi(v); err == nil {
 				r.N = n
+			}
+		}
+		if v, ok := strings.CutPrefix(p, "K="); ok {
+			if k, err := strconv.Atoi(v); err == nil {
+				r.K = k
 			}
 		}
 	}

@@ -25,6 +25,14 @@ func TestParseLine(t *testing.T) {
 	if _, ok := parseLine("goos: linux"); ok {
 		t.Fatal("header accepted")
 	}
+
+	r, ok = parseLine("BenchmarkSolvers/Offline_Appro_Fleet/K=2/N=100-8    50    9000000 ns/op")
+	if !ok {
+		t.Fatal("fleet line rejected")
+	}
+	if r.K != 2 || r.N != 100 || r.Case != "Offline_Appro_Fleet" {
+		t.Fatalf("K/N/Case = %d/%d/%q", r.K, r.N, r.Case)
+	}
 }
 
 func TestParseAll(t *testing.T) {

@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to reproduce: 2, 3, 4a, 4b, msgs, gap, accrual, contention, latency, faults, or all")
+		fig       = flag.String("fig", "all", "figure to reproduce: 2, 3, 4a, 4b, msgs, gap, accrual, contention, latency, faults, fleet, or all")
 		trials    = flag.Int("trials", 50, "random topologies per data point")
 		sizesFlag = flag.String("sizes", "", "comma-separated network sizes (default 100..600)")
 		seed      = flag.Int64("seed", 1, "base RNG seed")
@@ -110,10 +110,12 @@ func main() {
 			tbl, err = exp.Latency(cfg)
 		case "faults":
 			tbl, err = exp.FaultSweep(cfg)
+		case "fleet":
+			tbl, err = exp.FleetSweep(cfg)
 		default:
 			run, ok := exp.Figures[id]
 			if !ok {
-				fatalf("unknown figure %q (want 2, 3, 4a, 4b, msgs, gap, accrual, contention, latency, faults, all)", id)
+				fatalf("unknown figure %q (want 2, 3, 4a, 4b, msgs, gap, accrual, contention, latency, faults, fleet, all)", id)
 			}
 			tbl, err = run(cfg)
 		}

@@ -6,6 +6,7 @@
 //
 //	netgen -n 300 -seed 7 -speed 5 > topology.json
 //	netgen -n 100 -condition cloudy -jitter 0.3 -pretty
+//	netgen -n 200 -sinks 2 -sink-speed 8 > fleet.json
 package main
 
 import (
@@ -31,6 +32,8 @@ func main() {
 		panel     = flag.Float64("panel", energy.PaperPanelAreaMM2, "solar panel area, mm²")
 		condition = flag.String("condition", "sunny", "solar condition: sunny or cloudy")
 		pretty    = flag.Bool("pretty", false, "indent the JSON output")
+		sinks     = flag.Int("sinks", 1, "mobile sink fleet size; >1 splits the highway into equal per-sink segments")
+		sinkSpeed = flag.Float64("sink-speed", 0, "per-sink cruise speed written into the sink specs, m/s (0 defers to build time)")
 	)
 	flag.Parse()
 
@@ -56,6 +59,15 @@ func main() {
 	tourDur := *length / *speed
 	if err := dep.AssignSteadyStateBudgets(h, tourDur**accrual, *jitter, rng); err != nil {
 		fatalf("budgets: %v", err)
+	}
+	if *sinks > 1 || *sinkSpeed > 0 {
+		var speeds []float64
+		if *sinkSpeed > 0 {
+			speeds = []float64{*sinkSpeed}
+		}
+		if err := dep.SplitSinks(*sinks, speeds); err != nil {
+			fatalf("sinks: %v", err)
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	if *pretty {

@@ -24,8 +24,16 @@ func (inst *Instance) slotBound() float64 {
 	for i := range inst.Sensors {
 		s := &inst.Sensors[i]
 		for j := s.Start; s.Start >= 0 && j <= s.End; j++ {
-			if r := s.RateAt(j); r > best[j] {
+			if r := s.Rates[j-s.Start]; r > best[j] {
 				best[j] = r
+			}
+		}
+		for wi := range s.More {
+			w := &s.More[wi]
+			for j := w.Start; j <= w.End; j++ {
+				if r := w.Rates[j-w.Start]; r > best[j] {
+					best[j] = r
+				}
 			}
 		}
 	}
@@ -53,13 +61,19 @@ func (inst *Instance) fractionalKnapsack(i int) float64 {
 		return 0
 	}
 	type slot struct{ profit, weight float64 }
-	slots := make([]slot, 0, s.WindowSize())
-	for j := s.Start; j <= s.End; j++ {
-		r, p := s.RateAt(j), s.PowerAt(j)
-		if r <= 0 || p <= 0 {
-			continue
+	slots := make([]slot, 0, s.TotalWindowSize())
+	add := func(rates, powers []float64) {
+		for k, r := range rates {
+			p := powers[k]
+			if r <= 0 || p <= 0 {
+				continue
+			}
+			slots = append(slots, slot{r * inst.Tau, p * inst.Tau})
 		}
-		slots = append(slots, slot{r * inst.Tau, p * inst.Tau})
+	}
+	add(s.Rates, s.Powers)
+	for wi := range s.More {
+		add(s.More[wi].Rates, s.More[wi].Powers)
 	}
 	sort.Slice(slots, func(a, b int) bool {
 		return slots[a].profit*slots[b].weight > slots[b].profit*slots[a].weight

@@ -50,19 +50,28 @@ func (inst *Instance) RateQuantumBits() float64 { return inst.rateQuantumBits() 
 // volumes are integral in practice.
 func (inst *Instance) rateQuantumBits() float64 {
 	g := int64(0)
-	for i := range inst.Sensors {
-		for _, r := range inst.Sensors[i].Rates {
-			if r <= 0 {
+	fine := false
+	accum := func(rates []float64) {
+		for _, r := range rates {
+			if r <= 0 || fine {
 				continue
 			}
 			v := int64(math.Round(r * inst.Tau))
 			if v <= 0 {
-				return 1
+				fine = true
+				return
 			}
 			g = gcd64(g, v)
 		}
 	}
-	if g <= 0 {
+	for i := range inst.Sensors {
+		s := &inst.Sensors[i]
+		accum(s.Rates)
+		for wi := range s.More {
+			accum(s.More[wi].Rates)
+		}
+	}
+	if fine || g <= 0 {
 		return 1
 	}
 	return float64(g)
@@ -90,22 +99,36 @@ func OfflineSequentialCtx(ctx context.Context, inst *Instance, opts Options) (*A
 	alloc := inst.NewAllocation()
 	quantum := inst.rateQuantumBits()
 	solve := opts.SolverCtx(inst)
+	fleet := inst.NumSinks() > 1
 	var items []knapsack.Item
 	var slots []int
 	for _, si := range order {
 		s := &inst.Sensors[si]
 		items = items[:0]
 		slots = slots[:0]
-		for j := s.Start; j <= s.End; j++ {
-			if alloc.SlotOwner[j] != -1 {
-				continue
+		collect := func(start int, rates, powers []float64) {
+			for k, r := range rates {
+				j := start + k
+				if alloc.SlotOwner[j] != -1 {
+					continue
+				}
+				p := powers[k]
+				if r <= 0 || p <= 0 {
+					continue
+				}
+				items = append(items, knapsack.Item{Profit: r * inst.Tau, Weight: p * inst.Tau})
+				slots = append(slots, j)
 			}
-			r, p := s.RateAt(j), s.PowerAt(j)
-			if r <= 0 || p <= 0 {
-				continue
-			}
-			items = append(items, knapsack.Item{Profit: r * inst.Tau, Weight: p * inst.Tau})
-			slots = append(slots, j)
+		}
+		if s.Start >= 0 {
+			collect(s.Start, s.Rates, s.Powers)
+		}
+		for wi := range s.More {
+			w := &s.More[wi]
+			collect(w.Start, w.Rates, w.Powers)
+		}
+		if fleet {
+			items, slots = reduceByAbsSlot(inst, items, slots)
 		}
 		var sol knapsack.Solution
 		var err error
@@ -123,6 +146,29 @@ func OfflineSequentialCtx(ctx context.Context, inst *Instance, opts Options) (*A
 	}
 	inst.RecomputeData(alloc)
 	return alloc, nil
+}
+
+// reduceByAbsSlot thins a fleet sensor's candidate slots to at most one
+// per absolute time slot — the dominant candidate (max profit, tie min
+// weight, tie first seen) — so the group-blind per-sensor knapsack of the
+// sequential packer can never produce a cross-sink conflict.
+func reduceByAbsSlot(inst *Instance, items []knapsack.Item, slots []int) ([]knapsack.Item, []int) {
+	best := make(map[int]int, len(slots)) // absolute slot → index in the kept prefix
+	n := 0
+	for k := range slots {
+		a := inst.AbsSlot(slots[k])
+		if bi, ok := best[a]; ok {
+			cur, cand := items[bi], items[k]
+			if cand.Profit > cur.Profit || (cand.Profit == cur.Profit && cand.Weight < cur.Weight) {
+				items[bi], slots[bi] = cand, slots[k]
+			}
+			continue
+		}
+		items[n], slots[n] = items[k], slots[k]
+		best[a] = n
+		n++
+	}
+	return items[:n], slots[:n]
 }
 
 // validateDataCaps checks the per-sensor data constraint of an allocation.

@@ -20,22 +20,41 @@ import (
 	"mobisink/internal/radio"
 )
 
+// Window is one contiguous visibility window of a sensor against one sink
+// of a fleet, in the instance's joint (sink-major) slot space.
+type Window struct {
+	Sink       int // fleet index of the sink this window listens to
+	Start, End int // inclusive global slot range
+	// Rates[k] and Powers[k] are r_{i,j} (bit/s) and P_{i,j} (W) for
+	// global slot j = Start+k.
+	Rates  []float64
+	Powers []float64
+}
+
 // SensorSlots is a sensor together with its visibility window A(v) and
-// per-slot link parameters for the current tour.
+// per-slot link parameters for the current tour. Fleet instances (K > 1)
+// may give a sensor one window per sink it can hear: the first (lowest
+// sink index) is the primary window below, the rest live in More.
 type SensorSlots struct {
 	ID     int // dense sensor index
 	Pos    geom.Point
 	Budget float64 // P(v), Joules available this tour
-	// Start and End delimit A(v) as an inclusive 0-based slot range;
-	// Start == -1 means the sensor never hears the sink.
+	// Start and End delimit the primary window as an inclusive 0-based
+	// global slot range; Start == -1 means the sensor never hears any sink.
 	Start, End int
 	// Rates[k] and Powers[k] are r_{i,j} (bit/s) and P_{i,j} (W) for slot
 	// j = Start+k.
 	Rates  []float64
 	Powers []float64
+	// Sink is the fleet index of the primary window's sink (0 for
+	// single-sink instances).
+	Sink int
+	// More holds the windows against further sinks, ascending by sink
+	// index; always empty when K = 1.
+	More []Window
 }
 
-// WindowSize returns |A(v)|.
+// WindowSize returns the primary window's size |A(v)|.
 func (s *SensorSlots) WindowSize() int {
 	if s.Start < 0 {
 		return 0
@@ -43,34 +62,114 @@ func (s *SensorSlots) WindowSize() int {
 	return s.End - s.Start + 1
 }
 
-// RateAt returns r_{i,j} for absolute slot j, or 0 if j ∉ A(v).
+// TotalWindowSize returns the slot count across every window of the
+// sensor (primary plus More); equal to WindowSize for K = 1.
+func (s *SensorSlots) TotalWindowSize() int {
+	n := s.WindowSize()
+	for i := range s.More {
+		w := &s.More[i]
+		n += w.End - w.Start + 1
+	}
+	return n
+}
+
+// RateAt returns r_{i,j} for global slot j, or 0 if j is in no window.
 func (s *SensorSlots) RateAt(j int) float64 {
-	if s.Start < 0 || j < s.Start || j > s.End {
-		return 0
+	if s.Start >= 0 && j >= s.Start && j <= s.End {
+		return s.Rates[j-s.Start]
 	}
-	return s.Rates[j-s.Start]
+	for i := range s.More {
+		if w := &s.More[i]; j >= w.Start && j <= w.End {
+			return w.Rates[j-w.Start]
+		}
+	}
+	return 0
 }
 
-// PowerAt returns P_{i,j} for absolute slot j, or 0 if j ∉ A(v).
+// PowerAt returns P_{i,j} for global slot j, or 0 if j is in no window.
 func (s *SensorSlots) PowerAt(j int) float64 {
-	if s.Start < 0 || j < s.Start || j > s.End {
-		return 0
+	if s.Start >= 0 && j >= s.Start && j <= s.End {
+		return s.Powers[j-s.Start]
 	}
-	return s.Powers[j-s.Start]
+	for i := range s.More {
+		if w := &s.More[i]; j >= w.Start && j <= w.End {
+			return w.Powers[j-w.Start]
+		}
+	}
+	return 0
 }
 
-// Instance is one tour's slot-allocation problem.
+// Contains reports whether global slot j lies inside any of the sensor's
+// windows (independently of the slot's rate being usable).
+func (s *SensorSlots) Contains(j int) bool {
+	if s.Start >= 0 && j >= s.Start && j <= s.End {
+		return true
+	}
+	for i := range s.More {
+		if w := &s.More[i]; j >= w.Start && j <= w.End {
+			return true
+		}
+	}
+	return false
+}
+
+// SinkInfo is one mobile sink's segment of the joint slot space: its tour
+// occupies the global slots [Offset, Offset+T); global slot Offset+a runs
+// during absolute time slot a, concurrently with every other sink's slot
+// of the same absolute index (the fleet tours in lock-step, sharing τ).
+type SinkInfo struct {
+	Offset int // first global slot of this sink's segment
+	T      int // slots in this sink's tour
+	Traj   *geom.Trajectory
+}
+
+// Instance is one tour's slot-allocation problem. Fleet instances (K > 1
+// sinks) use a sink-major joint slot space: T sums the per-sink tour
+// lengths, Sinks records each sink's segment, and the cross-sink
+// constraint — a sensor transmits to at most one sink per absolute time
+// slot — joins constraints (1)-(4).
 type Instance struct {
-	T       int     // slots per tour
+	T       int     // slots per tour (sum over the fleet)
 	Tau     float64 // τ, seconds per slot
 	Gamma   int     // Γ = ⌊R/(r_s·τ)⌋, slots per online interval
 	Range   float64 // R, maximum transmission range
 	Sensors []SensorSlots
 	Traj    *geom.Trajectory
+	// Sinks describes the fleet's segments of the joint slot space; nil
+	// means the legacy single sink owning all of [0, T).
+	Sinks []SinkInfo
 	// DataCaps, when non-nil, bounds each sensor's total upload in bits
 	// (finite data queues); nil means the paper's unbounded-data model.
 	// Set via SetDataCaps.
 	DataCaps []float64
+}
+
+// NumSinks returns the fleet size (1 for legacy instances).
+func (inst *Instance) NumSinks() int {
+	if len(inst.Sinks) == 0 {
+		return 1
+	}
+	return len(inst.Sinks)
+}
+
+// SinkOfSlot returns the fleet index of the sink owning global slot j.
+func (inst *Instance) SinkOfSlot(j int) int {
+	for k := len(inst.Sinks) - 1; k >= 0; k-- {
+		if j >= inst.Sinks[k].Offset {
+			return k
+		}
+	}
+	return 0
+}
+
+// AbsSlot returns the absolute time slot during which global slot j runs:
+// j minus its sink's segment offset. Two global slots conflict for a
+// sensor exactly when their absolute slots coincide.
+func (inst *Instance) AbsSlot(j int) int {
+	if len(inst.Sinks) == 0 {
+		return j
+	}
+	return j - inst.Sinks[inst.SinkOfSlot(j)].Offset
 }
 
 // BuildInstance derives the slot-allocation problem for one tour of the
@@ -149,6 +248,13 @@ func (inst *Instance) Validate(a *Allocation) (float64, error) {
 		return 0, fmt.Errorf("core: allocation covers %d slots, instance has %d", len(a.SlotOwner), inst.T)
 	}
 	energyUsed := make([]float64, len(inst.Sensors))
+	// Fleet instances: absSlotOf[i] tracks sensor i's claimed absolute
+	// slots so the cross-sink constraint (≤ 1 sink per absolute slot per
+	// sensor) is enforced.
+	var absSlotOf map[[2]int]int
+	if inst.NumSinks() > 1 {
+		absSlotOf = make(map[[2]int]int)
+	}
 	data := 0.0
 	for j, i := range a.SlotOwner {
 		if i == -1 {
@@ -158,11 +264,18 @@ func (inst *Instance) Validate(a *Allocation) (float64, error) {
 			return 0, fmt.Errorf("core: slot %d assigned to invalid sensor %d", j, i)
 		}
 		s := &inst.Sensors[i]
-		if s.Start < 0 || j < s.Start || j > s.End {
-			return 0, fmt.Errorf("core: slot %d outside A(v_%d) = [%d,%d]", j, i, s.Start, s.End)
+		if !s.Contains(j) {
+			return 0, fmt.Errorf("core: slot %d outside every window of sensor %d", j, i)
 		}
 		if s.RateAt(j) <= 0 {
 			return 0, fmt.Errorf("core: slot %d allocated to sensor %d with zero rate", j, i)
+		}
+		if absSlotOf != nil {
+			key := [2]int{i, inst.AbsSlot(j)}
+			if prev, dup := absSlotOf[key]; dup {
+				return 0, fmt.Errorf("core: sensor %d transmits to two sinks in absolute slot %d (global slots %d and %d)", i, key[1], prev, j)
+			}
+			absSlotOf[key] = j
 		}
 		energyUsed[i] += s.PowerAt(j) * inst.Tau
 		data += s.RateAt(j) * inst.Tau

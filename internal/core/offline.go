@@ -89,20 +89,34 @@ func (inst *Instance) weightQuantum() (float64, bool) {
 	const unit = 1e-6 // resolve weights in micro-Joules
 	g := int64(0)
 	maxQ := int64(0)
+	ok := true
+	accum := func(p float64) {
+		if p <= 0 || !ok {
+			return
+		}
+		w := int64(math.Round(p * inst.Tau / unit))
+		if w == 0 {
+			ok = false
+			return
+		}
+		g = gcd64(g, w)
+		if w > maxQ {
+			maxQ = w
+		}
+	}
 	for i := range inst.Sensors {
-		for _, p := range inst.Sensors[i].Powers {
-			if p <= 0 {
-				continue
-			}
-			w := int64(math.Round(p * inst.Tau / unit))
-			if w == 0 {
-				return 0, false
-			}
-			g = gcd64(g, w)
-			if w > maxQ {
-				maxQ = w
+		s := &inst.Sensors[i]
+		for _, p := range s.Powers {
+			accum(p)
+		}
+		for wi := range s.More {
+			for _, p := range s.More[wi].Powers {
+				accum(p)
 			}
 		}
+	}
+	if !ok {
+		return 0, false
 	}
 	if g == 0 {
 		return 0, false
@@ -187,6 +201,12 @@ func offlineApproLegacyCtx(ctx context.Context, inst *Instance, opts Options) (*
 // one entry per usable window slot (profit = r·τ bits, weight = P·τ
 // Joules). Shared by OfflineAppro and OfflineGreedy, which differ only in
 // bin order and the assignment algorithm run on the result.
+//
+// Fleet instances contribute entries from every window (one per audible
+// sink) and carry the cross-sink constraint as the conflict-group map
+// ItemGroup[global slot] = absolute slot: within a bin (sensor) at most
+// one item per absolute slot may be assigned. Single-sink instances set
+// no groups and build the exact legacy reduction.
 func buildGAP(inst *Instance, order []int) *gap.Instance {
 	g := &gap.Instance{NumItems: inst.T}
 	g.Bins = make([]gap.Bin, len(order))
@@ -195,7 +215,21 @@ func buildGAP(inst *Instance, order []int) *gap.Instance {
 		bin := gap.Bin{Capacity: s.Budget}
 		if s.Start >= 0 {
 			for j := s.Start; j <= s.End; j++ {
-				r, p := s.RateAt(j), s.PowerAt(j)
+				r, p := s.Rates[j-s.Start], s.Powers[j-s.Start]
+				if r <= 0 || p <= 0 {
+					continue
+				}
+				bin.Entries = append(bin.Entries, gap.Entry{
+					Item:   j,
+					Profit: r * inst.Tau,
+					Weight: p * inst.Tau,
+				})
+			}
+		}
+		for wi := range s.More {
+			w := &s.More[wi]
+			for j := w.Start; j <= w.End; j++ {
+				r, p := w.Rates[j-w.Start], w.Powers[j-w.Start]
 				if r <= 0 || p <= 0 {
 					continue
 				}
@@ -207,6 +241,12 @@ func buildGAP(inst *Instance, order []int) *gap.Instance {
 			}
 		}
 		g.Bins[b] = bin
+	}
+	if inst.NumSinks() > 1 {
+		g.ItemGroup = make([]int, inst.T)
+		for j := range g.ItemGroup {
+			g.ItemGroup[j] = inst.AbsSlot(j)
+		}
 	}
 	return g
 }
@@ -239,14 +279,26 @@ func sensorOrder(inst *Instance) []int {
 // paper §VI), else ok=false.
 func (inst *Instance) FixedTxPower() (float64, bool) {
 	p := 0.0
-	for i := range inst.Sensors {
-		for _, pw := range inst.Sensors[i].Powers {
+	same := func(powers []float64) bool {
+		for _, pw := range powers {
 			if pw <= 0 {
 				continue
 			}
 			if p == 0 {
 				p = pw
 			} else if math.Abs(pw-p) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range inst.Sensors {
+		s := &inst.Sensors[i]
+		if !same(s.Powers) {
+			return 0, false
+		}
+		for wi := range s.More {
+			if !same(s.More[wi].Powers) {
 				return 0, false
 			}
 		}
@@ -281,6 +333,17 @@ func OfflineMaxMatchCtx(ctx context.Context, inst *Instance) (*Allocation, error
 	if err != nil {
 		return nil, err
 	}
+	// Fleet instances carry the cross-sink constraint as per-left conflict
+	// groups keyed by absolute slot, which the matching solver enforces
+	// exactly with unit-capacity gadget nodes — Offline_MaxMatch stays an
+	// exact anchor at any K.
+	fleet := inst.NumSinks() > 1
+	addEdge := func(i, j int, r float64) error {
+		if fleet {
+			return g.AddEdgeInGroup(i, j, r*inst.Tau, inst.AbsSlot(j))
+		}
+		return g.AddEdge(i, j, r*inst.Tau)
+	}
 	for i := range inst.Sensors {
 		s := &inst.Sensors[i]
 		if s.Start < 0 {
@@ -290,16 +353,26 @@ func OfflineMaxMatchCtx(ctx context.Context, inst *Instance) (*Allocation, error
 			continue
 		}
 		capSlots := int(math.Floor(s.Budget/perSlotCost + 1e-9))
-		if w := s.WindowSize(); capSlots > w {
+		if w := s.TotalWindowSize(); capSlots > w {
 			capSlots = w
 		}
 		if err := g.SetLeftCap(i, capSlots); err != nil {
 			return nil, err
 		}
 		for j := s.Start; j <= s.End; j++ {
-			if r := s.RateAt(j); r > 0 {
-				if err := g.AddEdge(i, j, r*inst.Tau); err != nil {
+			if r := s.Rates[j-s.Start]; r > 0 {
+				if err := addEdge(i, j, r); err != nil {
 					return nil, err
+				}
+			}
+		}
+		for wi := range s.More {
+			w := &s.More[wi]
+			for j := w.Start; j <= w.End; j++ {
+				if r := w.Rates[j-w.Start]; r > 0 {
+					if err := addEdge(i, j, r); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}

@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFleetSweep(t *testing.T) {
+	cfg := Config{Sizes: []int{40}, Trials: 2, Seed: 9}
+	tbl, err := FleetSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Points) != 6 { // 3 fleet sizes × 1 size × 2 algorithms
+		t.Fatalf("points = %d", len(tbl.Points))
+	}
+	ks := map[int]bool{}
+	for _, p := range tbl.Points {
+		ks[p.K] = true
+		if p.Mb.Mean <= 0 {
+			t.Errorf("K=%d %s: empty throughput", p.K, p.Algorithm)
+		}
+		if p.FracUB < 0 || p.FracUB > 1+1e-9 {
+			t.Errorf("K=%d %s: fraction of UB %v outside [0,1]", p.K, p.Algorithm, p.FracUB)
+		}
+	}
+	if !ks[1] || !ks[2] || !ks[4] {
+		t.Fatalf("fleet sizes covered: %v, want {1,2,4}", ks)
+	}
+	var csvBuf, renderBuf bytes.Buffer
+	if err := tbl.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csvBuf.String(), "k,n,algorithm") {
+		t.Errorf("csv header: %q", csvBuf.String()[:20])
+	}
+	if err := tbl.Render(&renderBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(renderBuf.String(), "K-sink sweep") {
+		t.Error("render missing title")
+	}
+}

@@ -7,6 +7,7 @@
 package fair
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -17,8 +18,16 @@ import (
 // currently poorest sensor (least collected data) its highest-rate
 // affordable unassigned slot, freezing sensors that cannot be improved.
 // The result approximates lexicographic max-min fairness; it is always
-// feasible.
+// feasible. On fleet instances every sink's window competes, and a sensor
+// never claims two slots of the same absolute time slot (the cross-sink
+// constraint).
 func WaterFill(inst *core.Instance) (*core.Allocation, error) {
+	return WaterFillCtx(context.Background(), inst)
+}
+
+// WaterFillCtx is WaterFill with cancellation: the context is polled once
+// per filling step (each step scans one sensor's windows).
+func WaterFillCtx(ctx context.Context, inst *core.Instance) (*core.Allocation, error) {
 	if inst == nil {
 		return nil, errors.New("fair: nil instance")
 	}
@@ -31,6 +40,13 @@ func WaterFill(inst *core.Instance) (*core.Allocation, error) {
 		budget[i] = inst.Sensors[i].Budget
 		active[i] = inst.Sensors[i].Start >= 0
 	}
+	// absUsed[i] records sensor i's claimed absolute slots on fleet
+	// instances; nil for K=1, where global slots are absolute slots and
+	// SlotOwner already excludes double claims.
+	var absUsed []map[int]bool
+	if inst.NumSinks() > 1 {
+		absUsed = make([]map[int]bool, n)
+	}
 	// Order of consideration among equal-data sensors: by id, for
 	// determinism.
 	remaining := 0
@@ -40,6 +56,9 @@ func WaterFill(inst *core.Instance) (*core.Allocation, error) {
 		}
 	}
 	for remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Poorest active sensor.
 		pick := -1
 		for i := 0; i < n; i++ {
@@ -51,19 +70,30 @@ func WaterFill(inst *core.Instance) (*core.Allocation, error) {
 			}
 		}
 		s := &inst.Sensors[pick]
-		// Its best affordable unassigned slot.
+		// Its best affordable unassigned slot across every window.
 		bestSlot, bestRate := -1, 0.0
-		for j := s.Start; j <= s.End; j++ {
-			if alloc.SlotOwner[j] != -1 {
-				continue
+		consider := func(start int, rates, powers []float64) {
+			for k, r := range rates {
+				j := start + k
+				if alloc.SlotOwner[j] != -1 {
+					continue
+				}
+				p := powers[k]
+				if r <= 0 || p <= 0 || p*inst.Tau > budget[pick]+1e-12 {
+					continue
+				}
+				if absUsed != nil && absUsed[pick][inst.AbsSlot(j)] {
+					continue
+				}
+				if r > bestRate {
+					bestRate, bestSlot = r, j
+				}
 			}
-			r, p := s.RateAt(j), s.PowerAt(j)
-			if r <= 0 || p <= 0 || p*inst.Tau > budget[pick]+1e-12 {
-				continue
-			}
-			if r > bestRate {
-				bestRate, bestSlot = r, j
-			}
+		}
+		consider(s.Start, s.Rates, s.Powers)
+		for wi := range s.More {
+			w := &s.More[wi]
+			consider(w.Start, w.Rates, w.Powers)
 		}
 		if bestSlot == -1 {
 			active[pick] = false
@@ -71,6 +101,12 @@ func WaterFill(inst *core.Instance) (*core.Allocation, error) {
 			continue
 		}
 		alloc.SlotOwner[bestSlot] = pick
+		if absUsed != nil {
+			if absUsed[pick] == nil {
+				absUsed[pick] = make(map[int]bool)
+			}
+			absUsed[pick][inst.AbsSlot(bestSlot)] = true
+		}
 		budget[pick] -= s.PowerAt(bestSlot) * inst.Tau
 		data[pick] += bestRate * inst.Tau
 	}
@@ -151,12 +187,21 @@ func MinData(inst *core.Instance, a *core.Allocation) float64 {
 			continue
 		}
 		affordable := false
-		for j := s.Start; j <= s.End; j++ {
-			p := s.PowerAt(j)
-			if p > 0 && p*inst.Tau <= s.Budget+1e-12 && s.RateAt(j) > 0 {
-				affordable = true
+		check := func(rates, powers []float64) {
+			for k, r := range rates {
+				p := powers[k]
+				if p > 0 && p*inst.Tau <= s.Budget+1e-12 && r > 0 {
+					affordable = true
+					return
+				}
+			}
+		}
+		check(s.Rates, s.Powers)
+		for wi := range s.More {
+			if affordable {
 				break
 			}
+			check(s.More[wi].Rates, s.More[wi].Powers)
 		}
 		if !affordable {
 			continue

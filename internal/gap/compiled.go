@@ -56,8 +56,17 @@ type Compiled struct {
 	binComp     []int32   // bin → component index
 	maxBin      int       // max compiled entries in one bin
 
-	cap0  []float64 // compile-time capacities (delta representability)
-	shedW []bool    // bin had positive-profit entries dropped for weight > cap
+	cap0      []float64 // compile-time capacities (delta representability)
+	shedW     []bool    // bin had positive-profit entries dropped for weight > cap
+	itemGroup []int     // copy of the source ItemGroup, carried through Remake
+	// shedG marks bins whose entries were thinned by the same-group
+	// dominance reduction (fleet conflict groups): a patch on such a bin
+	// could change which group member a cold compile keeps, which the CSR
+	// cannot express, so Apply refuses with ErrDeltaNotRepresentable.
+	shedG []bool
+	// groupsExact is false when some group reduction dropped an entry not
+	// weakly dominated by its winner (see reduceGroups).
+	groupsExact bool
 
 	// Patch state, nil/zero until the first Apply (delta.go). Once patched,
 	// every solve — incremental or cold — honors the current caps and the
@@ -123,17 +132,44 @@ func Compile(inst *Instance, quantum, eps float64) (*Compiled, error) {
 	}
 	b := len(inst.Bins)
 	c := &Compiled{
-		NumItems: inst.NumItems,
-		Off:      make([]int32, b+1),
-		Cap:      make([]float64, b),
-		Quantum:  quantum,
-		Eps:      eps,
-		shedW:    make([]bool, b),
+		NumItems:    inst.NumItems,
+		Off:         make([]int32, b+1),
+		Cap:         make([]float64, b),
+		Quantum:     quantum,
+		Eps:         eps,
+		shedW:       make([]bool, b),
+		shedG:       make([]bool, b),
+		groupsExact: true,
+	}
+	// Same-group dominance reduction (fleet conflict groups): within each
+	// bin, at most one entry per conflict group survives compilation, so
+	// the sweep below structurally honors the "one sink per absolute slot"
+	// constraint without any per-candidate group bookkeeping.
+	var drops [][]bool
+	if inst.ItemGroup != nil {
+		c.itemGroup = append([]int(nil), inst.ItemGroup...)
+		drops = make([][]bool, b)
+		for i, bin := range inst.Bins {
+			drop, exact := reduceGroups(bin.Entries, bin.Capacity, inst.ItemGroup)
+			drops[i] = drop
+			if drop != nil {
+				c.shedG[i] = true
+			}
+			if !exact {
+				c.groupsExact = false
+			}
+		}
+	}
+	dropped := func(bin, k int) bool {
+		return drops != nil && drops[bin] != nil && drops[bin][k]
 	}
 	total := 0
 	for i, bin := range inst.Bins {
 		c.Cap[i] = bin.Capacity
-		for _, e := range bin.Entries {
+		for k, e := range bin.Entries {
+			if dropped(i, k) {
+				continue
+			}
 			if keepEntry(e, bin.Capacity) {
 				total++
 			} else if e.Profit > 0 {
@@ -154,7 +190,10 @@ func Compile(inst *Instance, quantum, eps float64) (*Compiled, error) {
 	}
 	k := 0
 	for i, bin := range inst.Bins {
-		for _, e := range bin.Entries {
+		for ke, e := range bin.Entries {
+			if dropped(i, ke) {
+				continue
+			}
 			if !keepEntry(e, bin.Capacity) {
 				continue
 			}
@@ -278,6 +317,15 @@ func (c *Compiled) buildComponents() {
 // NumComponents reports how many connected components the compiled
 // instance decomposes into.
 func (c *Compiled) NumComponents() int { return len(c.comps) }
+
+// GroupReductionExact reports whether the compile-time conflict-group
+// reduction was dominance-exact: every dropped entry was weakly dominated
+// (profit ≤, weight ≥) by its group's surviving entry, so the reduced
+// instance has the same optimum as the group-constrained original. This
+// holds for monotone link models (the repo's radio tables), where the
+// closer sink offers both the higher rate and the lower energy cost; it is
+// trivially true on instances without conflict groups.
+func (c *Compiled) GroupReductionExact() bool { return c.groupsExact }
 
 // Scratch is the reusable per-solve state of a Compiled sweep: the
 // residual-claim array plus one worker's candidate buffers and knapsack

@@ -106,7 +106,15 @@ func localRatioSweep(ctx context.Context, inst *Instance, solve BinSolverCtx, r 
 		bin := inst.Bins[b]
 		sc.items = sc.items[:0]
 		sc.itemIdx = sc.itemIdx[:0]
-		for _, e := range bin.Entries {
+		// Same-group dominance reduction (fleet instances): the oracle only
+		// ever sees one candidate per (bin, conflict group), mirroring the
+		// compile-time reduction of the flat engine so both paths hand the
+		// knapsack identical candidate slices.
+		drop, _ := reduceGroups(bin.Entries, bin.Capacity, inst.ItemGroup)
+		for k, e := range bin.Entries {
+			if drop != nil && drop[k] {
+				continue
+			}
 			residual := e.Profit - lastClaim[e.Item]
 			if residual <= 0 {
 				continue // the knapsack would never take it

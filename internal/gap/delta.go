@@ -267,6 +267,13 @@ func (c *Compiled) stage(op deltaOp) error {
 	if b < 0 || int(b) >= len(c.Cap) {
 		return fmt.Errorf("%w: bin %d out of range [0,%d)", ErrBadDelta, b, len(c.Cap))
 	}
+	if op.kind != opSetDataCap && len(c.shedG) > 0 && c.shedG[b] {
+		// The conflict-group reduction dropped this bin's runner-up
+		// entries at compile time; any sweep-visible patch could change
+		// which group member a cold compile keeps, and the CSR no longer
+		// holds the alternatives. Recompile cold instead.
+		return fmt.Errorf("%w: bin %d was group-reduced at compile time", ErrDeltaNotRepresentable, b)
+	}
 	switch op.kind {
 	case opSetCap:
 		v := op.val
@@ -407,6 +414,9 @@ func (c *Compiled) DataCapOf(bin int) float64 {
 // verification and for recompiling after ErrDeltaNotRepresentable.
 func (c *Compiled) Remake() *Instance {
 	inst := &Instance{NumItems: c.NumItems, Bins: make([]Bin, len(c.Cap))}
+	if c.itemGroup != nil {
+		inst.ItemGroup = append([]int(nil), c.itemGroup...)
+	}
 	for b := range c.Cap {
 		bin := Bin{Capacity: c.Cap[b]}
 		for k := c.Off[b]; k < c.Off[b+1]; k++ {

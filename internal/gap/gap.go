@@ -39,6 +39,80 @@ type Bin struct {
 type Instance struct {
 	NumItems int
 	Bins     []Bin
+	// ItemGroup, when non-nil (len NumItems), assigns each item a conflict
+	// group: within any single bin, at most one item per group may be
+	// assigned. Negative group ids mean "unconstrained". The fleet
+	// reduction uses groups for the "one sink per absolute time slot"
+	// constraint — items are (sink, slot) pairs and the group id is the
+	// absolute slot, so a sensor (bin) may talk to at most one sink in any
+	// given time slot. Different bins may freely use the same group.
+	ItemGroup []int
+}
+
+// groupOf returns item j's conflict group, or -1 when unconstrained.
+func (inst *Instance) groupOf(j int) int {
+	if inst.ItemGroup == nil {
+		return -1
+	}
+	if g := inst.ItemGroup[j]; g >= 0 {
+		return g
+	}
+	return -1
+}
+
+// reduceGroups computes the same-group dominance reduction for one bin:
+// among the bin's assignable entries (positive profit, weight within
+// capacity) whose items share a conflict group, only the dominant entry —
+// max profit, then min weight, then lowest item — survives. It returns a
+// per-entry drop mask (nil when the bin has no group with two or more
+// assignable entries, the common case) and whether the reduction is exact:
+// it is whenever every dropped entry is weakly dominated (profit ≤, weight
+// ≥) by its group's winner, which holds for monotone link models where the
+// closer sink offers both the higher rate and the lower (or equal) energy
+// cost. An inexact reduction still yields feasible assignments; only the
+// approximation guarantee versus the unreduced optimum may degrade.
+func reduceGroups(entries []Entry, capacity float64, itemGroup []int) (drop []bool, exact bool) {
+	exact = true
+	if itemGroup == nil {
+		return nil, exact
+	}
+	winner := map[int]int{} // group → entry index of current winner
+	reduced := false
+	for k, e := range entries {
+		g := itemGroup[e.Item]
+		if g < 0 || e.Profit <= 0 || e.Weight > capacity {
+			continue
+		}
+		w, ok := winner[g]
+		if !ok {
+			winner[g] = k
+			continue
+		}
+		reduced = true
+		win := entries[w]
+		if e.Profit > win.Profit ||
+			(e.Profit == win.Profit && e.Weight < win.Weight) ||
+			(e.Profit == win.Profit && e.Weight == win.Weight && e.Item < win.Item) {
+			winner[g] = k
+		}
+	}
+	if !reduced {
+		return nil, exact
+	}
+	drop = make([]bool, len(entries))
+	for k, e := range entries {
+		g := itemGroup[e.Item]
+		if g < 0 || e.Profit <= 0 || e.Weight > capacity {
+			continue
+		}
+		if w := winner[g]; w != k {
+			drop[k] = true
+			if e.Weight < entries[w].Weight {
+				exact = false
+			}
+		}
+	}
+	return drop, exact
 }
 
 // Validate checks index ranges, signs, and per-bin duplicate entries.
@@ -48,6 +122,9 @@ type Instance struct {
 func (inst *Instance) Validate() error {
 	if inst.NumItems < 0 {
 		return fmt.Errorf("gap: negative item count %d", inst.NumItems)
+	}
+	if inst.ItemGroup != nil && len(inst.ItemGroup) != inst.NumItems {
+		return fmt.Errorf("gap: ItemGroup covers %d items, instance has %d", len(inst.ItemGroup), inst.NumItems)
 	}
 	seen := make([]int, inst.NumItems) // seen[j] == b+1 ⇔ bin b already lists item j
 	for b, bin := range inst.Bins {
@@ -93,6 +170,10 @@ func (a *Assignment) Check(inst *Instance) (float64, error) {
 		return 0, fmt.Errorf("gap: assignment covers %d items, instance has %d", len(a.ItemBin), inst.NumItems)
 	}
 	used := make([]float64, len(inst.Bins))
+	var groupUsed map[[2]int]bool
+	if inst.ItemGroup != nil {
+		groupUsed = map[[2]int]bool{}
+	}
 	total := 0.0
 	for item, b := range a.ItemBin {
 		if b == -1 {
@@ -107,6 +188,13 @@ func (a *Assignment) Check(inst *Instance) (float64, error) {
 		}
 		used[b] += e.Weight
 		total += e.Profit
+		if g := inst.groupOf(item); g >= 0 {
+			key := [2]int{b, g}
+			if groupUsed[key] {
+				return 0, fmt.Errorf("gap: bin %d assigned two items of conflict group %d", b, g)
+			}
+			groupUsed[key] = true
+		}
 	}
 	for b, w := range used {
 		if w > inst.Bins[b].Capacity+1e-9 {
@@ -161,8 +249,15 @@ func Greedy(inst *Instance) (*Assignment, error) {
 	}
 	var cands []cand
 	for b, bin := range inst.Bins {
-		for _, e := range bin.Entries {
+		// The same-group dominance reduction keeps at most one entry per
+		// (bin, conflict group), so the greedy scan below can never assign
+		// a bin two items of one group.
+		drop, _ := reduceGroups(bin.Entries, bin.Capacity, inst.ItemGroup)
+		for k, e := range bin.Entries {
 			if e.Profit <= 0 || e.Weight > bin.Capacity {
+				continue
+			}
+			if drop != nil && drop[k] {
 				continue
 			}
 			d := inf
@@ -243,6 +338,22 @@ func Exhaustive(inst *Instance, maxStates uint64) (*Assignment, error) {
 	for b := range residual {
 		residual[b] = inst.Bins[b].Capacity
 	}
+	// groupTaken reports whether bin b already holds an item of item's
+	// conflict group among the currently assigned lower-indexed items
+	// (Exhaustive is the optimum reference, so it enforces the group
+	// constraint exactly rather than via the dominance reduction).
+	groupTaken := func(b, item int) bool {
+		g := inst.groupOf(item)
+		if g < 0 {
+			return false
+		}
+		for j := 0; j < item; j++ {
+			if cur.ItemBin[j] == b && inst.groupOf(j) == g {
+				return true
+			}
+		}
+		return false
+	}
 	var dfs func(item int, profit float64)
 	dfs = func(item int, profit float64) {
 		if item == inst.NumItems {
@@ -257,7 +368,7 @@ func Exhaustive(inst *Instance, maxStates uint64) (*Assignment, error) {
 		dfs(item+1, profit)
 		for _, b := range perItem[item] {
 			e, _ := findEntry(inst.Bins[b].Entries, item)
-			if e.Profit <= 0 || e.Weight > residual[b] {
+			if e.Profit <= 0 || e.Weight > residual[b] || groupTaken(b, item) {
 				continue
 			}
 			cur.ItemBin[item] = b

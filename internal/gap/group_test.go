@@ -1,0 +1,217 @@
+package gap
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobisink/internal/knapsack"
+)
+
+// groupedInstance builds a random instance whose items carry conflict
+// groups (group id = item % nGroups, the fleet "absolute slot" shape).
+func groupedInstance(rng *rand.Rand, bins, items, nGroups int) *Instance {
+	inst := &Instance{NumItems: items, ItemGroup: make([]int, items)}
+	for j := range inst.ItemGroup {
+		inst.ItemGroup[j] = j % nGroups
+	}
+	inst.Bins = make([]Bin, bins)
+	for b := range inst.Bins {
+		bin := Bin{Capacity: 1 + rng.Float64()*3}
+		for j := 0; j < items; j++ {
+			if rng.Float64() < 0.5 {
+				continue
+			}
+			bin.Entries = append(bin.Entries, Entry{
+				Item:   j,
+				Profit: math.Floor(rng.Float64()*90+10) / 10,
+				Weight: math.Floor(rng.Float64()*15+5) / 10,
+			})
+		}
+		inst.Bins[b] = bin
+	}
+	return inst
+}
+
+func TestReduceGroupsPicksDominant(t *testing.T) {
+	entries := []Entry{
+		{Item: 0, Profit: 5, Weight: 1},
+		{Item: 3, Profit: 7, Weight: 2}, // winner of group 0 (items 0, 3 with groups below)
+		{Item: 1, Profit: 4, Weight: 1},
+	}
+	itemGroup := []int{0, 1, -1, 0}
+	drop, exact := reduceGroups(entries, 10, itemGroup)
+	if drop == nil {
+		t.Fatal("expected a reduction: group 0 holds two assignable entries")
+	}
+	if !drop[0] || drop[1] || drop[2] {
+		t.Fatalf("drop = %v, want only the item-0 entry dropped", drop)
+	}
+	if exact {
+		t.Fatal("dropped entry is lighter than the winner: reduction must report inexact")
+	}
+
+	// Weakly dominated loser → exact.
+	entries[0].Weight = 2
+	drop, exact = reduceGroups(entries, 10, itemGroup)
+	if drop == nil || !drop[0] {
+		t.Fatalf("drop = %v, want item-0 entry dropped", drop)
+	}
+	if !exact {
+		t.Fatal("weakly dominated loser must keep the reduction exact")
+	}
+
+	// Singleton groups → no reduction at all.
+	singles := []Entry{entries[0], entries[2]} // items 0 (group 0) and 1 (group 1)
+	if d, _ := reduceGroups(singles, 10, itemGroup); d != nil {
+		t.Fatalf("singleton groups reduced: %v", d)
+	}
+}
+
+func TestCheckRejectsGroupConflicts(t *testing.T) {
+	inst := &Instance{
+		NumItems:  2,
+		ItemGroup: []int{0, 0},
+		Bins: []Bin{{Capacity: 10, Entries: []Entry{
+			{Item: 0, Profit: 1, Weight: 1},
+			{Item: 1, Profit: 1, Weight: 1},
+		}}},
+	}
+	a := &Assignment{ItemBin: []int{0, 0}, Profit: 2}
+	if _, err := a.Check(inst); err == nil {
+		t.Fatal("Check accepted two same-group items in one bin")
+	}
+	a = &Assignment{ItemBin: []int{0, -1}, Profit: 1}
+	if _, err := a.Check(inst); err != nil {
+		t.Fatalf("conflict-free assignment rejected: %v", err)
+	}
+}
+
+func TestValidateItemGroupLength(t *testing.T) {
+	inst := &Instance{NumItems: 3, ItemGroup: []int{0}}
+	if err := inst.Validate(); err == nil {
+		t.Fatal("short ItemGroup accepted")
+	}
+}
+
+// TestGroupedSolversHonorGroups: local-ratio (legacy and compiled),
+// greedy, and exhaustive all emit assignments that pass the
+// group-checking Check on random grouped instances, and the compiled
+// sweep stays bit-identical to the legacy one.
+func TestGroupedSolversHonorGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ctx := context.Background()
+	for trial := 0; trial < 40; trial++ {
+		inst := groupedInstance(rng, 2+rng.Intn(4), 4+rng.Intn(8), 2+rng.Intn(3))
+		legacy, err := LocalRatioCtx(ctx, inst, knapsack.FPTASCtx(0.1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := legacy.Check(inst); err != nil {
+			t.Fatalf("trial %d: legacy local-ratio violates groups: %v", trial, err)
+		}
+		c, err := Compile(inst, 0, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat, err := c.Solve(ctx, SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := flat.Check(inst); err != nil {
+			t.Fatalf("trial %d: compiled sweep violates groups: %v", trial, err)
+		}
+		if math.Float64bits(flat.Profit) != math.Float64bits(legacy.Profit) {
+			t.Fatalf("trial %d: compiled profit %v != legacy %v", trial, flat.Profit, legacy.Profit)
+		}
+		for j := range flat.ItemBin {
+			if flat.ItemBin[j] != legacy.ItemBin[j] {
+				t.Fatalf("trial %d: compiled item %d in bin %d, legacy in %d",
+					trial, j, flat.ItemBin[j], legacy.ItemBin[j])
+			}
+		}
+		greedy, err := Greedy(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := greedy.Check(inst); err != nil {
+			t.Fatalf("trial %d: greedy violates groups: %v", trial, err)
+		}
+		ex, err := Exhaustive(inst, 1<<22)
+		if err != nil {
+			continue // state cap exceeded: skip the optimality probe
+		}
+		if _, err := ex.Check(inst); err != nil {
+			t.Fatalf("trial %d: exhaustive violates groups: %v", trial, err)
+		}
+		if ex.Profit+1e-9 < legacy.Profit || ex.Profit+1e-9 < greedy.Profit {
+			t.Fatalf("trial %d: exhaustive %v below a heuristic (lr %v, greedy %v)",
+				trial, ex.Profit, legacy.Profit, greedy.Profit)
+		}
+	}
+}
+
+// TestDeltaRefusesGroupReducedBins: a bin thinned by the compile-time
+// group reduction cannot be patched — its CSR no longer holds the
+// runner-up entries a cold compile of the patched state might keep.
+func TestDeltaRefusesGroupReducedBins(t *testing.T) {
+	inst := &Instance{
+		NumItems:  3,
+		ItemGroup: []int{0, 0, 1},
+		Bins: []Bin{
+			{Capacity: 10, Entries: []Entry{
+				{Item: 0, Profit: 2, Weight: 1}, // loses group 0 to item 1
+				{Item: 1, Profit: 3, Weight: 1},
+			}},
+			{Capacity: 10, Entries: []Entry{
+				{Item: 2, Profit: 1, Weight: 1}, // singleton: not reduced
+			}},
+		},
+	}
+	c, err := Compile(inst, 0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int32, inst.NumItems)
+	var d Delta
+	d.SetCap(0, 5)
+	if _, _, err := c.Apply(context.Background(), &d, out); !errors.Is(err, ErrDeltaNotRepresentable) {
+		t.Fatalf("patching a group-reduced bin: got %v, want ErrDeltaNotRepresentable", err)
+	}
+	d.Reset()
+	d.SetCap(1, 5)
+	if _, _, err := c.Apply(context.Background(), &d, out); err != nil {
+		t.Fatalf("patching an unreduced bin failed: %v", err)
+	}
+}
+
+// TestGroupReductionExactFlag: equal-weight groups (the fixed-power fleet
+// shape) reduce exactly; a lighter losing entry flips the flag.
+func TestGroupReductionExactFlag(t *testing.T) {
+	mk := func(loserWeight float64) *Instance {
+		return &Instance{
+			NumItems:  2,
+			ItemGroup: []int{0, 0},
+			Bins: []Bin{{Capacity: 10, Entries: []Entry{
+				{Item: 0, Profit: 1, Weight: loserWeight},
+				{Item: 1, Profit: 2, Weight: 1},
+			}}},
+		}
+	}
+	c, err := Compile(mk(1), 0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.GroupReductionExact() {
+		t.Fatal("equal-weight reduction reported inexact")
+	}
+	c, err = Compile(mk(0.5), 0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GroupReductionExact() {
+		t.Fatal("lighter loser reported exact")
+	}
+}

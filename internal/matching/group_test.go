@@ -1,0 +1,223 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// groupedEdge mirrors the solver's edge for the brute-force reference.
+type groupedEdge struct {
+	l, r, g int
+	w       float64
+}
+
+// bruteGrouped enumerates every edge subset and returns the best total
+// weight among those satisfying right exclusivity, left capacities, and
+// ≤ 1 matched edge per (left, group) pair.
+func bruteGrouped(nl, nr int, caps []int, edges []groupedEdge) float64 {
+	best := 0.0
+	n := len(edges)
+	for mask := 0; mask < 1<<n; mask++ {
+		rightUsed := make([]bool, nr)
+		deg := make([]int, nl)
+		groupUsed := map[[2]int]bool{}
+		total := 0.0
+		ok := true
+		for i := 0; i < n && ok; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			e := edges[i]
+			if rightUsed[e.r] || deg[e.l] >= caps[e.l] {
+				ok = false
+				break
+			}
+			if e.g >= 0 {
+				key := [2]int{e.l, e.g}
+				if groupUsed[key] {
+					ok = false
+					break
+				}
+				groupUsed[key] = true
+			}
+			rightUsed[e.r] = true
+			deg[e.l]++
+			total += e.w
+		}
+		if ok && total > best {
+			best = total
+		}
+	}
+	return best
+}
+
+// TestGroupedAgainstBruteForce: the gadget-node flow must be exact on
+// random graphs with conflict groups.
+func TestGroupedAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 300; trial++ {
+		nl := 1 + rng.Intn(3)
+		nr := 1 + rng.Intn(5)
+		caps := make([]int, nl)
+		g, _ := NewGraph(nl, nr)
+		for l := range caps {
+			caps[l] = 1 + rng.Intn(3)
+			_ = g.SetLeftCap(l, caps[l])
+		}
+		var edges []groupedEdge
+		for l := 0; l < nl; l++ {
+			for r := 0; r < nr; r++ {
+				if rng.Float64() >= 0.6 {
+					continue
+				}
+				w := math.Floor(rng.Float64()*100) / 10
+				grp := -1
+				if rng.Float64() < 0.7 {
+					grp = rng.Intn(3) // few groups → frequent collisions
+				}
+				edges = append(edges, groupedEdge{l, r, grp, w})
+				var err error
+				if grp >= 0 {
+					err = g.AddEdgeInGroup(l, r, w, grp)
+				} else {
+					err = g.AddEdge(l, r, w)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if len(edges) > 14 {
+			continue // keep the 2^n brute force cheap
+		}
+		want := bruteGrouped(nl, nr, caps, edges)
+		res := g.MaxWeight()
+		if math.Abs(res.Weight-want) > 1e-6 {
+			t.Fatalf("trial %d: flow weight %v != brute %v (caps=%v edges=%+v)",
+				trial, res.Weight, want, caps, edges)
+		}
+		validateGrouped(t, nl, caps, edges, res)
+	}
+}
+
+// validateGrouped re-derives degrees, weight, and the group constraint
+// from the reported matching.
+func validateGrouped(t *testing.T, nl int, caps []int, edges []groupedEdge, res *Result) {
+	t.Helper()
+	deg := make([]int, nl)
+	groupUsed := map[[2]int]bool{}
+	total := 0.0
+	for r, l := range res.RightMatch {
+		if l == -1 {
+			continue
+		}
+		// Attribute the match to the heaviest (l, r) edge — the one the
+		// min-cost flow would route.
+		bestW, bestG, found := 0.0, -1, false
+		for _, e := range edges {
+			if e.l == l && e.r == r && (!found || e.w > bestW) {
+				bestW, bestG, found = e.w, e.g, true
+			}
+		}
+		if !found {
+			t.Fatalf("matched pair (%d,%d) has no edge", l, r)
+		}
+		if bestG >= 0 {
+			key := [2]int{l, bestG}
+			if groupUsed[key] {
+				t.Fatalf("left %d matched twice in group %d", l, bestG)
+			}
+			groupUsed[key] = true
+		}
+		deg[l]++
+		total += bestW
+	}
+	for l := range deg {
+		if deg[l] > caps[l] {
+			t.Fatalf("left %d over capacity: %d > %d", l, deg[l], caps[l])
+		}
+		if deg[l] != res.LeftDegree[l] {
+			t.Fatalf("left degree mismatch at %d: %d vs %d", l, deg[l], res.LeftDegree[l])
+		}
+	}
+	if math.Abs(total-res.Weight) > 1e-6 {
+		t.Fatalf("weight mismatch: reported %v, edges sum to %v", res.Weight, total)
+	}
+}
+
+// TestSingletonGroupsMatchUngrouped: when every (left, group) pair holds
+// one edge, no gadget is built and the result must be identical — right
+// matches and weight bits — to the same graph added via AddEdge. This is
+// the K=1 parity property the fleet stack relies on.
+func TestSingletonGroupsMatchUngrouped(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		nl, nr := 1+rng.Intn(4), 1+rng.Intn(6)
+		plain, _ := NewGraph(nl, nr)
+		grouped, _ := NewGraph(nl, nr)
+		for l := 0; l < nl; l++ {
+			c := 1 + rng.Intn(2)
+			_ = plain.SetLeftCap(l, c)
+			_ = grouped.SetLeftCap(l, c)
+		}
+		for l := 0; l < nl; l++ {
+			for r := 0; r < nr; r++ {
+				if rng.Float64() < 0.5 {
+					w := rng.Float64() * 10
+					mustAdd(t, plain, l, r, w)
+					// Group id = right node: unique per (l, group).
+					if err := grouped.AddEdgeInGroup(l, r, w, r); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		p, g := plain.MaxWeight(), grouped.MaxWeight()
+		if math.Float64bits(p.Weight) != math.Float64bits(g.Weight) {
+			t.Fatalf("trial %d: grouped weight %v != plain %v", trial, g.Weight, p.Weight)
+		}
+		if !reflect.DeepEqual(p.RightMatch, g.RightMatch) {
+			t.Fatalf("trial %d: grouped RightMatch differs from plain", trial)
+		}
+	}
+}
+
+func TestAddEdgeInGroupValidation(t *testing.T) {
+	g, err := NewGraph(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdgeInGroup(0, 0, 1, -1); err == nil {
+		t.Fatal("negative group accepted")
+	}
+	if err := g.AddEdgeInGroup(2, 0, 1, 0); err == nil {
+		t.Fatal("out-of-range left node accepted")
+	}
+	if err := g.AddEdgeInGroup(0, 0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupForcesSplit: one left node with capacity 2 and two heavy edges
+// in the same group must take only one of them plus the light ungrouped
+// edge — the textbook gadget scenario.
+func TestGroupForcesSplit(t *testing.T) {
+	g, _ := NewGraph(1, 3)
+	_ = g.SetLeftCap(0, 2)
+	if err := g.AddEdgeInGroup(0, 0, 10, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdgeInGroup(0, 1, 9, 7); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, g, 0, 2, 1)
+	res := g.MaxWeight()
+	if res.Weight != 11 {
+		t.Fatalf("weight = %v, want 11 (10 from the group + 1 ungrouped)", res.Weight)
+	}
+	if res.RightMatch[0] != 0 || res.RightMatch[1] != -1 || res.RightMatch[2] != 0 {
+		t.Fatalf("RightMatch = %v, want [0 -1 0]", res.RightMatch)
+	}
+}

@@ -29,6 +29,7 @@ type Graph struct {
 type edge struct {
 	l, r int
 	w    float64
+	g    int // conflict group id scoped to l; -1 = unconstrained
 }
 
 // NewGraph creates a bipartite graph; every left node starts with capacity 1.
@@ -59,10 +60,29 @@ func (g *Graph) SetLeftCap(l, c int) error {
 // AddEdge adds an edge between left node l and right node r with weight w.
 // Non-positive-weight edges are legal but never matched.
 func (g *Graph) AddEdge(l, r int, w float64) error {
+	return g.addEdge(l, r, w, -1)
+}
+
+// AddEdgeInGroup adds an edge carrying a conflict group id: among all of
+// left node l's edges sharing a group, at most one may be matched. Groups
+// are scoped per left node — different left nodes may reuse the same id
+// freely. This is the fleet constraint "a sensor talks to at most one
+// sink per absolute time slot": right nodes are (sink, slot) pairs and
+// the group id is the absolute slot. Groups with a single edge add no
+// gadget node to the flow network, so graphs whose groups are all
+// singletons (any K=1 instance) solve on exactly the legacy network.
+func (g *Graph) AddEdgeInGroup(l, r int, w float64, group int) error {
+	if group < 0 {
+		return fmt.Errorf("matching: negative conflict group %d", group)
+	}
+	return g.addEdge(l, r, w, group)
+}
+
+func (g *Graph) addEdge(l, r int, w float64, group int) error {
 	if l < 0 || l >= g.nL || r < 0 || r >= g.nR {
 		return fmt.Errorf("matching: edge (%d,%d) out of range (%d×%d)", l, r, g.nL, g.nR)
 	}
-	g.edges = append(g.edges, edge{l, r, w})
+	g.edges = append(g.edges, edge{l, r, w, group})
 	return nil
 }
 
@@ -87,24 +107,79 @@ func (g *Graph) MaxWeight() *Result {
 // MaxWeightCtx is MaxWeight with cancellation: the context is polled once
 // per augmenting path (each augmentation is one Dijkstra pass, the natural
 // checkpoint granularity), returning ctx.Err() when the context is done.
+//
+// Conflict groups (AddEdgeInGroup) are enforced with a unit-capacity
+// gadget node per (left, group) pair spliced between the left node and the
+// group's right nodes: flow through the gadget is ≤ 1, so at most one of
+// the group's edges can carry flow, and min-cost max-flow stays an exact
+// oracle. Gadgets are only materialized for groups with ≥ 2 positive-weight
+// edges; graphs without such groups build byte-identical legacy networks.
 func (g *Graph) MaxWeightCtx(ctx context.Context) (*Result, error) {
-	// Flow network node ids: 0 = source, 1..nL = left, nL+1..nL+nR = right,
-	// nL+nR+1 = sink.
-	n := g.nL + g.nR + 2
+	// Gadget ids in first-encounter order, one per (left, group) with ≥ 2
+	// positive-weight edges.
+	type lg struct{ l, g int }
+	var groupCount map[lg]int
+	for _, e := range g.edges {
+		if e.g >= 0 && e.w > 0 {
+			if groupCount == nil {
+				groupCount = make(map[lg]int)
+			}
+			groupCount[lg{e.l, e.g}]++
+		}
+	}
+	var gadgetID map[lg]int // (l, group) → gadget index in [0, nG)
+	var gadgetOwner []int   // gadget index → owning left node
+	if groupCount != nil {
+		gadgetID = make(map[lg]int)
+		for _, e := range g.edges {
+			key := lg{e.l, e.g}
+			if e.g < 0 || e.w <= 0 || groupCount[key] < 2 {
+				continue
+			}
+			if _, ok := gadgetID[key]; ok {
+				continue
+			}
+			gadgetID[key] = len(gadgetOwner)
+			gadgetOwner = append(gadgetOwner, e.l)
+		}
+	}
+	nG := len(gadgetOwner)
+
+	// Flow network node ids: 0 = source, 1..nL = left, nL+1..nL+nG = gadgets,
+	// nL+nG+1..nL+nG+nR = right, nL+nG+nR+1 = sink. Gadgets sit between the
+	// left and right ranges so positive-capacity arcs still only go forward
+	// in node order, preserving the DAG pass of initPotentials.
+	n := g.nL + nG + g.nR + 2
 	src, snk := 0, n-1
+	rightBase := 1 + g.nL + nG
 	f := newFlow(n)
 	for l, c := range g.leftCap {
 		if c > 0 {
 			f.addArc(src, 1+l, c, 0)
 		}
 	}
+	gadgetWired := make(map[lg]bool, nG)
 	for _, e := range g.edges {
-		if e.w > 0 {
-			f.addArc(1+e.l, 1+g.nL+e.r, 1, -e.w)
+		if e.w <= 0 {
+			continue
 		}
+		key := lg{e.l, e.g}
+		gid, grouped := -1, false
+		if e.g >= 0 {
+			gid, grouped = gadgetID[key]
+		}
+		if !grouped {
+			f.addArc(1+e.l, rightBase+e.r, 1, -e.w)
+			continue
+		}
+		if !gadgetWired[key] {
+			gadgetWired[key] = true
+			f.addArc(1+e.l, 1+g.nL+gid, 1, 0)
+		}
+		f.addArc(1+g.nL+gid, rightBase+e.r, 1, -e.w)
 	}
 	for r := 0; r < g.nR; r++ {
-		f.addArc(1+g.nL+r, snk, 1, 0)
+		f.addArc(rightBase+r, snk, 1, 0)
 	}
 	if err := f.solve(ctx, src, snk); err != nil {
 		return nil, err
@@ -117,15 +192,27 @@ func (g *Graph) MaxWeightCtx(ctx context.Context) (*Result, error) {
 	for r := range res.RightMatch {
 		res.RightMatch[r] = -1
 	}
-	// Recover matched edges: left→right arcs with flow.
+	// Recover matched edges: arcs into the right range with flow, issued
+	// either directly from a left node or from one of its gadgets.
+	record := func(l int, a *arc) {
+		r := a.to - rightBase
+		res.RightMatch[r] = l
+		res.LeftDegree[l]++
+		res.Weight += -a.cost
+	}
 	for l := 0; l < g.nL; l++ {
 		for _, ai := range f.adj[1+l] {
 			a := &f.arcs[ai]
-			if a.to > g.nL && a.to < snk && a.flow > 0 {
-				r := a.to - 1 - g.nL
-				res.RightMatch[r] = l
-				res.LeftDegree[l]++
-				res.Weight += -a.cost
+			if a.to >= rightBase && a.to < snk && a.flow > 0 {
+				record(l, a)
+			}
+		}
+	}
+	for gi, owner := range gadgetOwner {
+		for _, ai := range f.adj[1+g.nL+gi] {
+			a := &f.arcs[ai]
+			if a.to >= rightBase && a.to < snk && a.flow > 0 {
+				record(owner, a)
 			}
 		}
 	}

@@ -1,0 +1,143 @@
+package network
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"mobisink/internal/geom"
+)
+
+func TestSinkSpecPath(t *testing.T) {
+	empty := SinkSpec{}
+	p, err := empty.Path(500)
+	if err != nil || p.Length() != 500 {
+		t.Fatalf("empty spec path: %v, %v", p, err)
+	}
+	long := SinkSpec{PathLength: 1200}
+	if p, err = long.Path(500); err != nil || p.Length() != 1200 {
+		t.Fatalf("explicit-length spec path: %v, %v", p, err)
+	}
+	way := SinkSpec{Waypoints: []geom.Point{{X: 0, Y: 0}, {X: 3, Y: 4}}}
+	if p, err = way.Path(500); err != nil || p.Length() != 5 {
+		t.Fatalf("waypoint spec path: %v, %v", p, err)
+	}
+	if _, err = (&SinkSpec{Waypoints: []geom.Point{{X: 1, Y: 1}}}).Path(500); err == nil {
+		t.Fatal("single-waypoint spec accepted")
+	}
+	if _, err = (&SinkSpec{}).Path(0); err == nil {
+		t.Fatal("pathless spec with no fallback accepted")
+	}
+}
+
+func TestSplitSinks(t *testing.T) {
+	d, _ := Generate(PaperParams(10, 4))
+	_ = d.SetUniformBudgets(1)
+	if err := d.SplitSinks(4, []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSinks() != 4 {
+		t.Fatalf("NumSinks = %d, want 4", d.NumSinks())
+	}
+	totalLen := 0.0
+	for k := range d.Sinks {
+		if d.Sinks[k].Speed != 5 {
+			t.Fatalf("sink %d speed %v, want broadcast 5", k, d.Sinks[k].Speed)
+		}
+		p, err := d.SinkPath(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalLen += p.Length()
+	}
+	if diff := totalLen - d.PathLength; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("segments sum to %v, deployment path is %v", totalLen, d.PathLength)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("split deployment invalid: %v", err)
+	}
+
+	if err := d.SplitSinks(0, nil); err == nil {
+		t.Fatal("zero-sink split accepted")
+	}
+	if err := d.SplitSinks(2, []float64{1, 2, 3}); err == nil {
+		t.Fatal("mismatched speed count accepted")
+	}
+	if err := d.SplitSinks(2, []float64{-1}); err == nil {
+		t.Fatal("negative speed accepted")
+	}
+}
+
+// TestFleetJSONRoundTrip: deployments with per-sink specs — waypoint
+// paths, speeds, explicit lengths — must survive Marshal/Unmarshal
+// byte-exactly, and legacy JSON without a sinks field must keep decoding
+// as the implicit single sink.
+func TestFleetJSONRoundTrip(t *testing.T) {
+	d, _ := Generate(PaperParams(15, 11))
+	_ = d.SetUniformBudgets(2)
+	if err := d.SplitSinks(2, []float64{4, 9}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Deployment
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Sinks, d.Sinks) {
+		t.Fatalf("sink specs lost in round trip: %+v vs %+v", back.Sinks, d.Sinks)
+	}
+	if !reflect.DeepEqual(back.Sensors, d.Sensors) {
+		t.Fatal("sensors lost in round trip")
+	}
+	for k := range d.Sinks {
+		if len(back.Sinks[k].Waypoints) != 2 {
+			t.Fatalf("sink %d waypoints lost", k)
+		}
+	}
+
+	// Legacy JSON (no sinks field) keeps the implicit single sink.
+	var legacy Deployment
+	legacyJSON, _ := json.Marshal(&Deployment{
+		PathLength: 100, MaxOffset: 10,
+		Sensors: []Sensor{{ID: 0, Pos: geom.Point{X: 50, Y: 5}, Budget: 1}},
+	})
+	if err := json.Unmarshal(legacyJSON, &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.NumSinks() != 1 || legacy.Sinks != nil {
+		t.Fatalf("legacy JSON decoded to %d sinks (%+v)", legacy.NumSinks(), legacy.Sinks)
+	}
+	specs := legacy.SinkSpecs()
+	if len(specs) != 1 || specs[0].PathLength != 100 {
+		t.Fatalf("implicit spec = %+v", specs)
+	}
+
+	// Unmarshal validates fleet fields too.
+	bad := `{"path_length":100,"sinks":[{"speed":-2}],"sensors":[{"id":0,"pos":{"x":1,"y":0},"budget":1}]}`
+	if err := json.Unmarshal([]byte(bad), &back); err == nil {
+		t.Error("negative sink speed accepted on unmarshal")
+	}
+}
+
+// TestValidateFleetCoverage: with explicit sinks, a sensor out of range
+// of every sink path is rejected even if it sits near the deployment
+// path.
+func TestValidateFleetCoverage(t *testing.T) {
+	d := &Deployment{
+		PathLength: 1000, MaxOffset: 50,
+		Sinks: []SinkSpec{{Waypoints: []geom.Point{{X: 0, Y: 0}, {X: 400, Y: 0}}}},
+		Sensors: []Sensor{
+			{ID: 0, Pos: geom.Point{X: 200, Y: 20}, Budget: 1},
+		},
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("covered sensor rejected: %v", err)
+	}
+	d.Sensors = append(d.Sensors, Sensor{ID: 1, Pos: geom.Point{X: 900, Y: 0}, Budget: 1})
+	if err := d.Validate(); err == nil {
+		t.Fatal("sensor beyond every sink path accepted")
+	}
+}

@@ -21,16 +21,126 @@ type Sensor struct {
 	Budget float64    `json:"budget"` // energy available this tour, J
 }
 
+// SinkSpec describes one mobile sink of a fleet: its own tour path and
+// cruise speed. A zero Speed defers to the speed supplied at
+// instance-build time; an empty path (no waypoints, zero PathLength)
+// defers to the deployment's own path.
+type SinkSpec struct {
+	// Speed is the sink's cruise speed in m/s; 0 means "use the default
+	// speed passed to the instance builder".
+	Speed float64 `json:"speed,omitempty"`
+	// PathLength is the straight-line tour length along the x-axis when
+	// Waypoints is empty; 0 falls back to the deployment's PathLength.
+	PathLength float64 `json:"path_length,omitempty"`
+	// Waypoints, when at least two are given, switch the sink to a
+	// piecewise-linear tour path.
+	Waypoints []geom.Point `json:"waypoints,omitempty"`
+}
+
+// Path returns the sink's tour path, falling back to the deployment-level
+// straight highway of length depLen when the spec carries no path of its
+// own.
+func (sp *SinkSpec) Path(depLen float64) (geom.Path, error) {
+	if len(sp.Waypoints) >= 2 {
+		return geom.NewPolyline(sp.Waypoints)
+	}
+	if len(sp.Waypoints) == 1 {
+		return nil, errors.New("network: sink spec with a single waypoint")
+	}
+	l := sp.PathLength
+	if l == 0 {
+		l = depLen
+	}
+	if l <= 0 {
+		return nil, fmt.Errorf("network: sink spec with non-positive path length %v", l)
+	}
+	return geom.HighwayLine(l), nil
+}
+
 // Deployment is a set of sensors along a tour path. By default the path is
 // a straight line of PathLength meters along the x-axis (the paper's
 // setting); supplying at least two Waypoints switches to a piecewise-linear
 // road instead (the paper notes the extension to real road shapes is
 // straightforward — this is it).
+//
+// Sinks, when non-empty, declares a fleet of K mobile sinks, each with its
+// own path and speed; deployments without the field (all pre-fleet JSON)
+// keep the implicit single sink on the deployment path, so K=1 is the
+// backward-compatible default.
 type Deployment struct {
 	PathLength float64      `json:"path_length"` // meters
 	MaxOffset  float64      `json:"max_offset"`  // max sensor distance from the path, meters
 	Waypoints  []geom.Point `json:"waypoints,omitempty"`
+	Sinks      []SinkSpec   `json:"sinks,omitempty"`
 	Sensors    []Sensor     `json:"sensors"`
+}
+
+// NumSinks returns the fleet size: len(Sinks), or 1 for the implicit
+// single-sink (legacy) deployment.
+func (d *Deployment) NumSinks() int {
+	if len(d.Sinks) == 0 {
+		return 1
+	}
+	return len(d.Sinks)
+}
+
+// SinkSpecs returns the fleet as an explicit spec list; legacy deployments
+// yield one implicit spec riding on the deployment path.
+func (d *Deployment) SinkSpecs() []SinkSpec {
+	if len(d.Sinks) == 0 {
+		return []SinkSpec{{PathLength: d.PathLength, Waypoints: d.Waypoints}}
+	}
+	return d.Sinks
+}
+
+// SinkPath returns sink k's tour path.
+func (d *Deployment) SinkPath(k int) (geom.Path, error) {
+	specs := d.SinkSpecs()
+	if k < 0 || k >= len(specs) {
+		return nil, fmt.Errorf("network: sink %d out of range (fleet of %d)", k, len(specs))
+	}
+	return specs[k].Path(d.PathLength)
+}
+
+// SplitSinks replaces the fleet with k sinks that split the deployment's
+// straight highway into k contiguous equal segments: sink i tours
+// [i·L/k, (i+1)·L/k] as a two-waypoint path at speeds[i] m/s (a single
+// speed is broadcast to all sinks; nil keeps every Speed at 0, deferring
+// to the build-time default). It errors on waypoint deployments — splitting
+// a polyline is the caller's business.
+func (d *Deployment) SplitSinks(k int, speeds []float64) error {
+	if k < 1 {
+		return fmt.Errorf("network: fleet size must be at least 1, got %d", k)
+	}
+	if len(d.Waypoints) > 0 {
+		return errors.New("network: SplitSinks requires a straight-line deployment")
+	}
+	if d.PathLength <= 0 {
+		return errors.New("network: SplitSinks on a deployment without a path")
+	}
+	if len(speeds) != 0 && len(speeds) != 1 && len(speeds) != k {
+		return fmt.Errorf("network: %d speeds for %d sinks", len(speeds), k)
+	}
+	seg := d.PathLength / float64(k)
+	sinks := make([]SinkSpec, k)
+	for i := range sinks {
+		sp := SinkSpec{Waypoints: []geom.Point{
+			{X: float64(i) * seg, Y: 0},
+			{X: float64(i+1) * seg, Y: 0},
+		}}
+		switch len(speeds) {
+		case 1:
+			sp.Speed = speeds[0]
+		case k:
+			sp.Speed = speeds[i]
+		}
+		if sp.Speed < 0 {
+			return fmt.Errorf("network: negative speed %v for sink %d", sp.Speed, i)
+		}
+		sinks[i] = sp
+	}
+	d.Sinks = sinks
+	return nil
 }
 
 // Params configures random topology generation.
@@ -93,12 +203,42 @@ func (d *Deployment) Validate() error {
 		}
 		path = pl
 	}
+	var sinkPaths []geom.Path
+	for k := range d.Sinks {
+		sp := &d.Sinks[k]
+		if sp.Speed < 0 {
+			return fmt.Errorf("network: sink %d has negative speed %v", k, sp.Speed)
+		}
+		p, err := sp.Path(d.PathLength)
+		if err != nil {
+			return fmt.Errorf("network: sink %d: %w", k, err)
+		}
+		sinkPaths = append(sinkPaths, p)
+	}
 	for i, s := range d.Sensors {
 		if s.ID != i {
 			return fmt.Errorf("network: sensor %d has ID %d (IDs must be dense)", i, s.ID)
 		}
 		if s.Budget < 0 {
 			return fmt.Errorf("network: sensor %d has negative budget", i)
+		}
+		if len(sinkPaths) > 0 {
+			// Fleet deployments: every sensor must sit within MaxOffset of
+			// at least one sink's tour (a sensor no sink can ever hear is a
+			// deployment bug, not a solver input).
+			if d.MaxOffset > 0 {
+				near := false
+				for _, p := range sinkPaths {
+					if _, _, ok := p.CoverInterval(s.Pos, d.MaxOffset+1e-9); ok {
+						near = true
+						break
+					}
+				}
+				if !near {
+					return fmt.Errorf("network: sensor %d farther than %v m from every sink path", i, d.MaxOffset)
+				}
+			}
+			continue
 		}
 		if curved {
 			if d.MaxOffset > 0 {

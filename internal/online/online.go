@@ -188,6 +188,9 @@ func RunCtx(ctx context.Context, inst *core.Instance, sched Scheduler, opts Opti
 	if sched == nil {
 		return nil, errors.New("online: nil scheduler")
 	}
+	if inst.NumSinks() > 1 {
+		return nil, fmt.Errorf("online: the online protocol drives a single sink, instance has a fleet of %d", inst.NumSinks())
+	}
 	if inst.DataCaps != nil {
 		aware, ok := sched.(interface{ CapAware() bool })
 		if !ok || !aware.CapAware() {

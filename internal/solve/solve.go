@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"mobisink/internal/core"
+	"mobisink/internal/fair"
 	"mobisink/internal/online"
 )
 
@@ -137,6 +138,11 @@ func init() {
 	Register("Offline_Sequential", func(o Options) Solver {
 		return &funcSolver{"Offline_Sequential", func(ctx context.Context, inst *core.Instance) (*core.Allocation, error) {
 			return core.OfflineSequentialCtx(ctx, inst, o.Core)
+		}}
+	})
+	Register("Offline_WaterFill", func(o Options) Solver {
+		return &funcSolver{"Offline_WaterFill", func(ctx context.Context, inst *core.Instance) (*core.Allocation, error) {
+			return fair.WaterFillCtx(ctx, inst)
 		}}
 	})
 	Register("Online_Appro", func(o Options) Solver {

@@ -60,7 +60,7 @@ func fixedPowerInstance(tb testing.TB, n int, seed int64, speed, tau float64) *c
 
 func TestRegistryNames(t *testing.T) {
 	want := []string{
-		"Offline_Appro", "Offline_Greedy", "Offline_MaxMatch", "Offline_Sequential",
+		"Offline_Appro", "Offline_Greedy", "Offline_MaxMatch", "Offline_Sequential", "Offline_WaterFill",
 		"Online_Appro", "Online_Appro_Warm", "Online_Greedy", "Online_MaxMatch", "Online_Sequential",
 	}
 	got := Names()
@@ -201,9 +201,68 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 }
 
-func benchSolver(b *testing.B, name string, opts Options) {
+// fleetInstance builds a K-sink joint instance: the paper topology with
+// the straight highway split into k contiguous sink segments.
+func fleetInstance(tb testing.TB, n int, seed int64, k int, speed, tau float64) *core.Instance {
+	tb.Helper()
+	d, err := network.Generate(network.PaperParams(n, seed))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	h := energy.PaperSolar(energy.Sunny)
+	rng := rand.New(rand.NewSource(seed))
+	if err := d.AssignSteadyStateBudgets(h, 10000/speed, 0.2, rng); err != nil {
+		tb.Fatal(err)
+	}
+	if err := d.SplitSinks(k, nil); err != nil {
+		tb.Fatal(err)
+	}
+	inst, err := core.BuildFleetInstance(d, radio.Paper2013(), speed, tau)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return inst
+}
+
+// TestSolversOnFleetInstance: the offline solvers accept fleet instances
+// and produce feasible (conflict-free) allocations; the online protocol
+// refuses them.
+func TestSolversOnFleetInstance(t *testing.T) {
+	inst := fleetInstance(t, 40, 3, 2, 5, 1)
+	for _, name := range Names() {
+		s, err := New(name, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		alloc, err := s.Solve(context.Background(), inst)
+		if strings.HasPrefix(name, "Online_") {
+			if err == nil {
+				t.Fatalf("%s accepted a fleet instance", name)
+			}
+			continue
+		}
+		if name == "Offline_MaxMatch" {
+			// The paper-rate model is not fixed-power; MaxMatch refuses.
+			if err == nil {
+				t.Fatalf("%s accepted a multi-power instance", name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := inst.Validate(alloc); err != nil {
+			t.Fatalf("%s produced infeasible fleet allocation: %v", name, err)
+		}
+		if alloc.Data <= 0 {
+			t.Fatalf("%s collected no data", name)
+		}
+	}
+}
+
+func benchInstanceSolver(b *testing.B, name string, opts Options, build func(b *testing.B, n int) *core.Instance) {
 	for _, n := range []int{50, 100, 200} {
-		inst := paperInstance(b, n, 42, 5, 1)
+		inst := build(b, n)
 		s, err := New(name, opts)
 		if err != nil {
 			b.Fatal(err)
@@ -218,6 +277,22 @@ func benchSolver(b *testing.B, name string, opts Options) {
 	}
 }
 
+func benchSolver(b *testing.B, name string, opts Options) {
+	benchInstanceSolver(b, name, opts, func(b *testing.B, n int) *core.Instance {
+		return paperInstance(b, n, 42, 5, 1)
+	})
+}
+
+// benchFleetSolver benches a solver on K-sink joint instances; the K=
+// path component becomes the K column of BENCH_solvers.json rows.
+func benchFleetSolver(b *testing.B, name string, k int, opts Options) {
+	b.Run("K="+strconv.Itoa(k), func(b *testing.B) {
+		benchInstanceSolver(b, name, opts, func(b *testing.B, n int) *core.Instance {
+			return fleetInstance(b, n, 42, k, 5, 1)
+		})
+	})
+}
+
 // BenchmarkSolvers drives `make bench`: each sub-benchmark is one
 // (solver, network size) point of BENCH_solvers.json.
 func BenchmarkSolvers(b *testing.B) {
@@ -227,8 +302,13 @@ func BenchmarkSolvers(b *testing.B) {
 	degraded := Options{Online: online.Options{Faults: &fault.Plan{StallProb: 1}}}
 	b.Run("Offline_Appro", func(b *testing.B) { benchSolver(b, "Offline_Appro", Options{}) })
 	b.Run("Offline_Appro_Parallel", func(b *testing.B) { benchSolver(b, "Offline_Appro", parallel) })
+	b.Run("Offline_Appro_Fleet", func(b *testing.B) {
+		benchFleetSolver(b, "Offline_Appro", 2, Options{})
+		benchFleetSolver(b, "Offline_Appro", 4, Options{})
+	})
 	b.Run("Offline_Greedy", func(b *testing.B) { benchSolver(b, "Offline_Greedy", Options{}) })
 	b.Run("Offline_Sequential", func(b *testing.B) { benchSolver(b, "Offline_Sequential", Options{}) })
+	b.Run("Offline_WaterFill", func(b *testing.B) { benchSolver(b, "Offline_WaterFill", Options{}) })
 	b.Run("Online_Appro", func(b *testing.B) { benchSolver(b, "Online_Appro", Options{}) })
 	b.Run("Online_Appro_Warm", func(b *testing.B) { benchSolver(b, "Online_Appro_Warm", Options{}) })
 	b.Run("Online_Appro_Degraded", func(b *testing.B) { benchSolver(b, "Online_Appro", degraded) })
