@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-metrics test-fault test-wire test-race vet check bench bench-all bench-compare bench-compare-short cover cover-all experiments examples clean fuzz-wire fuzz-gap fuzz-fleet
+.PHONY: all build test test-metrics test-fault test-wire test-recovery test-race vet check bench bench-all bench-compare bench-compare-short cover cover-all experiments examples clean fuzz-wire fuzz-gap fuzz-fleet fuzz-wal
 
 all: build vet test
 
@@ -21,7 +21,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/solve ./internal/gap
 
-test: check test-metrics test-fault test-wire cover bench-compare-short
+test: check test-metrics test-fault test-wire test-recovery cover bench-compare-short
 	$(GO) test ./...
 
 # Wire-transport gate: formatting and vet on the framing/server/client/
@@ -34,10 +34,27 @@ test-wire:
 	$(GO) vet ./internal/wire ./cmd/sinkd
 	$(GO) test -race ./internal/wire ./cmd/sinkd
 
+# Recovery gate: formatting and vet on the session/WAL/daemon layer,
+# then the resumption, heartbeat, churn-chaos, and crash-restart suites
+# under the race detector (session state and the journal ledger are
+# touched from handler goroutines and the tour loop concurrently).
+# Part of the default `test` target.
+test-recovery:
+	@out=$$(gofmt -l internal/wire internal/wal cmd/sinkd); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./internal/wire ./internal/wal ./cmd/sinkd
+	$(GO) test -race ./internal/wire ./internal/wal ./cmd/sinkd
+
 # Short fuzz pass over the strict frame decoder (no input may panic,
 # over-read, or break round-trip symmetry).
 fuzz-wire:
 	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime 30s ./internal/wire
+
+# Short fuzz pass over the journal replayer: arbitrary byte streams —
+# torn tails, flipped bits, truncated records — must never panic, and a
+# clean re-append of whatever Scan salvaged must round-trip.
+fuzz-wal:
+	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 30s ./internal/wal
 
 # Short fuzz pass over the incremental delta re-solve: random patch
 # programs applied to seeded instances; every step must stay bit-identical
@@ -102,10 +119,10 @@ bench-compare-short:
 # Coverage gate (part of the default `test` target): per-package floors
 # on the solving and protocol packages, committed as the baseline below
 # measured coverage at the time of writing (gap 94.4, knapsack 93.3,
-# online 91.9, wire 84.3, matching 99.3, core 84.6). Raise the floors
-# when coverage rises.
-COVER_FLOORS = internal/gap:92 internal/knapsack:91 internal/online:89 internal/wire:80 \
-	internal/matching:96 internal/core:81
+# online 91.9, wire 83.8, wal 81.8, matching 99.3, core 84.6). Raise the
+# floors when coverage rises.
+COVER_FLOORS = internal/gap:92 internal/knapsack:91 internal/online:89 internal/wire:81 \
+	internal/wal:78 internal/matching:96 internal/core:81
 
 cover:
 	@fail=0; for spec in $(COVER_FLOORS); do \

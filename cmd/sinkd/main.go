@@ -12,10 +12,18 @@
 // started with identical parameters reproduce the demo tour across
 // machines. On a fault-free demo tour the result is checked byte-for-byte
 // against the in-process online.Run.
+//
+// Durability and liveness: -wal journals every interval commit so a
+// restarted sink resumes the tour where its predecessor died (the
+// -crash-demo mode rehearses exactly that, mid-tour, and still passes
+// the parity check); -heartbeat turns on idle keepalives plus derived
+// read/write deadlines, and -session-ttl bounds how long a disconnected
+// sensor may take to reconnect and resume its session.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -37,21 +45,25 @@ import (
 )
 
 type config struct {
-	addr    string
-	serve   bool
-	connect string
-	algo    string
-	n       int
-	seed    int64
-	pathLen float64
-	offset  float64
-	speed   float64
-	tau     float64
-	chaos   float64
-	delay   time.Duration
-	retries int
-	window  time.Duration
-	stats   bool
+	addr       string
+	serve      bool
+	connect    string
+	algo       string
+	n          int
+	seed       int64
+	pathLen    float64
+	offset     float64
+	speed      float64
+	tau        float64
+	chaos      float64
+	delay      time.Duration
+	retries    int
+	window     time.Duration
+	stats      bool
+	wal        string
+	sessionTTL time.Duration
+	heartbeat  time.Duration
+	crashDemo  bool
 }
 
 func main() {
@@ -71,6 +83,10 @@ func main() {
 	flag.IntVar(&cfg.retries, "retries", 3, "recovery retransmission rounds (chaos mode)")
 	flag.DurationVar(&cfg.window, "window", 100*time.Millisecond, "registration and confirm window (chaos and -serve modes)")
 	flag.BoolVar(&cfg.stats, "stats", false, "dump the wire metrics snapshot after the tour")
+	flag.StringVar(&cfg.wal, "wal", "", "journal interval commits to this file; an existing journal resumes the tour")
+	flag.DurationVar(&cfg.sessionTTL, "session-ttl", time.Minute, "how long a disconnected sensor's session stays resumable")
+	flag.DurationVar(&cfg.heartbeat, "heartbeat", 0, "idle keepalive period; also derives read (3×) and write (1×) deadlines on every connection")
+	flag.BoolVar(&cfg.crashDemo, "crash-demo", false, "demo mode: kill the sink mid-tour and restart it from the journal, then check parity")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -95,6 +111,15 @@ func buildInstance(cfg config) (*core.Instance, error) {
 	return core.BuildInstance(dep, radio.Paper2013(), cfg.speed, cfg.tau)
 }
 
+// connOpts derives per-connection deadlines from the heartbeat period:
+// reads tolerate three missed beats, writes get one period.
+func connOpts(hb time.Duration) wire.ConnOptions {
+	if hb <= 0 {
+		return wire.ConnOptions{}
+	}
+	return wire.ConnOptions{ReadTimeout: 3 * hb, WriteTimeout: hb}
+}
+
 func run(cfg config) error {
 	inst, err := buildInstance(cfg)
 	if err != nil {
@@ -114,7 +139,31 @@ func run(cfg config) error {
 		// no-timer exchange.
 		rec = &wire.Recovery{MaxRetries: cfg.retries, RegWindow: cfg.window, ConfirmWindow: cfg.window}
 	}
-	sink, err := wire.NewSink(wire.SinkConfig{Inst: inst, Scheduler: sched, Addr: cfg.addr, Recovery: rec})
+	walPath := cfg.wal
+	if cfg.crashDemo {
+		if cfg.serve {
+			return fmt.Errorf("-crash-demo needs the built-in fleet (drop -serve)")
+		}
+		if walPath == "" {
+			tmp, err := os.CreateTemp("", "sinkd-crash-*.wal")
+			if err != nil {
+				return err
+			}
+			walPath = tmp.Name()
+			tmp.Close()
+			defer os.Remove(walPath)
+		}
+	}
+	sinkCfg := wire.SinkConfig{
+		Inst: inst, Scheduler: sched, Addr: cfg.addr, Recovery: rec,
+		WALPath: walPath, SessionTTL: cfg.sessionTTL,
+		Heartbeat: cfg.heartbeat, Conn: connOpts(cfg.heartbeat),
+	}
+	if cfg.crashDemo {
+		intervals := (inst.T + inst.Gamma - 1) / inst.Gamma
+		sinkCfg.HaltAfter = intervals / 2
+	}
+	sink, err := wire.NewSink(sinkCfg)
 	if err != nil {
 		return err
 	}
@@ -144,14 +193,26 @@ func run(cfg config) error {
 
 	ctx := context.Background()
 	errs := make(chan error, len(inst.Sensors))
+	var clients []*wire.SensorClient
 	if !cfg.serve {
 		for i := range inst.Sensors {
 			scfg := wire.SensorConfigFor(inst, i)
 			scfg.Faults = inj
+			scfg.Conn = connOpts(cfg.heartbeat)
+			scfg.Heartbeat = cfg.heartbeat
+			if cfg.crashDemo {
+				// The fleet must outlive the simulated crash and find the
+				// restarted sink.
+				scfg.Redial = &wire.Redial{
+					MaxAttempts: 200, Base: 10 * time.Millisecond,
+					Max: 200 * time.Millisecond, Seed: cfg.seed,
+				}
+			}
 			client, err := wire.DialSensor(addr, scfg)
 			if err != nil {
 				return fmt.Errorf("dial sensor %d: %w", i, err)
 			}
+			clients = append(clients, client)
 			go func() { errs <- client.Run(ctx) }()
 		}
 	} else {
@@ -163,6 +224,27 @@ func run(cfg config) error {
 
 	start := time.Now()
 	res, err := sink.RunTour(ctx)
+	if cfg.crashDemo && errors.Is(err, wire.ErrHalted) {
+		bound := sink.Addr()
+		fmt.Printf("crash-demo: sink halted after %d intervals; killing it and restarting from %s\n",
+			sinkCfg.HaltAfter, walPath)
+		sink.Close() // the simulated crash: connections severed, no End record
+		restartCfg := sinkCfg
+		restartCfg.Addr = bound // rebind so the redialing fleet finds us
+		restartCfg.HaltAfter = 0
+		sink, err = wire.NewSink(restartCfg)
+		if err != nil {
+			return fmt.Errorf("crash-demo restart: %w", err)
+		}
+		defer sink.Close()
+		if err := sink.WaitSensors(ctx); err != nil {
+			return err
+		}
+		res, err = sink.RunTour(ctx)
+		if err == nil {
+			fmt.Println("crash-demo: journal replayed, tour resumed and completed")
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -172,6 +254,11 @@ func run(cfg config) error {
 		proxy.Close()
 	}
 	if !cfg.serve {
+		// Explicitly close the fleet so redial-enabled clients exit now
+		// instead of exhausting their reconnect budget against a dead sink.
+		for _, client := range clients {
+			client.Close()
+		}
 		for range inst.Sensors {
 			if err := <-errs; err != nil {
 				return fmt.Errorf("sensor client: %w", err)
@@ -234,7 +321,16 @@ func runFleet(cfg config, inst *core.Instance) error {
 	ctx := context.Background()
 	errs := make(chan error, len(inst.Sensors))
 	for i := range inst.Sensors {
-		client, err := wire.DialSensor(cfg.connect, wire.SensorConfigFor(inst, i))
+		scfg := wire.SensorConfigFor(inst, i)
+		scfg.Conn = connOpts(cfg.heartbeat)
+		scfg.Heartbeat = cfg.heartbeat
+		// A remote fleet reconnects and resumes on transport failures
+		// (including a sink restart from its journal).
+		scfg.Redial = &wire.Redial{
+			MaxAttempts: 30, Base: 20 * time.Millisecond,
+			Max: 500 * time.Millisecond, Seed: cfg.seed,
+		}
+		client, err := wire.DialSensor(cfg.connect, scfg)
 		if err != nil {
 			return fmt.Errorf("dial sensor %d: %w", i, err)
 		}
@@ -257,7 +353,7 @@ func dumpStats() {
 	snap := metrics.Snapshot()
 	keys := make([]string, 0, len(snap))
 	for k := range snap {
-		if strings.HasPrefix(k, "wire_") {
+		if strings.HasPrefix(k, "wire_") || strings.HasPrefix(k, "wal_") {
 			keys = append(keys, k)
 		}
 	}

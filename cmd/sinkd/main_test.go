@@ -27,6 +27,33 @@ func TestDemoTourChaos(t *testing.T) {
 	}
 }
 
+// TestDemoTourCrashRestart runs the crash-restart demo: the sink halts
+// mid-tour, a successor replays the journal and finishes, and run's
+// parity check still compares the stitched tour against online.Run.
+func TestDemoTourCrashRestart(t *testing.T) {
+	cfg := config{
+		addr: "127.0.0.1:0", algo: "greedy",
+		n: 20, seed: 6, pathLen: 1200, offset: 40, speed: 5, tau: 1,
+		crashDemo: true, sessionTTL: 30_000_000_000, // 30s
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDemoTourHeartbeat runs the loopback demo with keepalives and the
+// derived deadlines enabled on both ends.
+func TestDemoTourHeartbeat(t *testing.T) {
+	cfg := config{
+		addr: "127.0.0.1:0", algo: "greedy",
+		n: 12, seed: 8, pathLen: 800, offset: 40, speed: 5, tau: 1,
+		heartbeat: 50_000_000, // 50ms
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBuildInstanceRejectsBadParams(t *testing.T) {
 	if _, err := buildInstance(config{n: -1, pathLen: 800, offset: 40, speed: 5, tau: 1, seed: 1}); err == nil {
 		t.Fatal("expected error for negative sensor count")

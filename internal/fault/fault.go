@@ -41,6 +41,13 @@ const (
 	// reordering decisions from the same seed as the drop rolls.
 	KindDelay
 	KindReorder
+	// KindConnKill and KindPartition drive transport-level survivability
+	// chaos: severed connections (the sensor must redial and resume its
+	// session) and interval-scoped black-hole partitions. Like the other
+	// kinds they are pure functions of the plan seed, so connection churn
+	// is scriptable and reproducible.
+	KindConnKill
+	KindPartition
 )
 
 // Crash is one sensor outage: the sensor is dead (no Acks, no data
@@ -58,6 +65,24 @@ type Shortfall struct {
 	Sensor int     `json:"sensor"`
 	Slot   int     `json:"slot"`
 	Joules float64 `json:"joules"`
+}
+
+// ConnKill is one scripted connection severance: the transport carrying
+// the sensor's session is torn down when the given interval's first
+// Probe reaches it. The sensor must redial and resume its session.
+type ConnKill struct {
+	Sensor   int `json:"sensor"`
+	Interval int `json:"interval"`
+}
+
+// Partition is one network partition window: for every interval in the
+// inclusive range [From, To] the listed sensors are black-holed — their
+// protocol traffic is silently discarded in both directions. An empty
+// Sensors list partitions every sensor.
+type Partition struct {
+	From    int   `json:"from"`
+	To      int   `json:"to"`
+	Sensors []int `json:"sensors,omitempty"`
 }
 
 // Plan is a declarative fault scenario for one tour. The zero value
@@ -95,6 +120,14 @@ type Plan struct {
 	// StallIntervals forces specific intervals into degraded mode
 	// regardless of StallProb.
 	StallIntervals []int `json:"stall_intervals,omitempty"`
+	// ConnKillProb is the per-(interval, sensor) probability that the
+	// sensor's transport connection is severed at that interval's first
+	// Probe delivery.
+	ConnKillProb float64 `json:"conn_kill_prob"`
+	// ConnKills lists scripted connection severances.
+	ConnKills []ConnKill `json:"conn_kills,omitempty"`
+	// Partitions lists interval-windowed black-hole partitions.
+	Partitions []Partition `json:"partitions,omitempty"`
 }
 
 // maxRetriesCap bounds retransmission rounds so a hostile plan cannot
@@ -109,8 +142,9 @@ func (p *Plan) Zero() bool {
 		return true
 	}
 	return p.DropProbe == 0 && p.DropAck == 0 && p.DropSchedule == 0 &&
-		p.DropFinish == 0 && p.StallProb == 0 &&
-		len(p.Crashes) == 0 && len(p.Shortfalls) == 0 && len(p.StallIntervals) == 0
+		p.DropFinish == 0 && p.StallProb == 0 && p.ConnKillProb == 0 &&
+		len(p.Crashes) == 0 && len(p.Shortfalls) == 0 && len(p.StallIntervals) == 0 &&
+		len(p.ConnKills) == 0 && len(p.Partitions) == 0
 }
 
 // Validate rejects malformed plans: probabilities outside [0,1] or NaN,
@@ -125,7 +159,7 @@ func (p *Plan) Validate() error {
 	}{
 		{"drop_probe", p.DropProbe}, {"drop_ack", p.DropAck},
 		{"drop_schedule", p.DropSchedule}, {"drop_finish", p.DropFinish},
-		{"stall_prob", p.StallProb},
+		{"stall_prob", p.StallProb}, {"conn_kill_prob", p.ConnKillProb},
 	} {
 		if math.IsNaN(pr.v) || pr.v < 0 || pr.v > 1 {
 			return fmt.Errorf("fault: %s = %v outside [0,1]", pr.name, pr.v)
@@ -151,6 +185,24 @@ func (p *Plan) Validate() error {
 		}
 		if math.IsNaN(s.Joules) || s.Joules < 0 {
 			return fmt.Errorf("fault: shortfall of %v J invalid", s.Joules)
+		}
+	}
+	for _, k := range p.ConnKills {
+		if k.Sensor < 0 {
+			return fmt.Errorf("fault: conn kill with negative sensor %d", k.Sensor)
+		}
+		if k.Interval < 0 {
+			return fmt.Errorf("fault: conn kill at negative interval %d", k.Interval)
+		}
+	}
+	for _, w := range p.Partitions {
+		if w.To < w.From {
+			return fmt.Errorf("fault: partition window [%d,%d] inverted", w.From, w.To)
+		}
+		for _, s := range w.Sensors {
+			if s < 0 {
+				return fmt.Errorf("fault: partition names negative sensor %d", s)
+			}
 		}
 	}
 	return nil
@@ -183,6 +235,7 @@ func (p *Plan) Sanitized(numSensors, T int) Plan {
 		DropSchedule: clamp01(p.DropSchedule),
 		DropFinish:   clamp01(p.DropFinish),
 		StallProb:    clamp01(p.StallProb),
+		ConnKillProb: clamp01(p.ConnKillProb),
 		MaxRetries:   p.MaxRetries,
 	}
 	if q.MaxRetries < 0 {
@@ -225,6 +278,39 @@ func (p *Plan) Sanitized(numSensors, T int) Plan {
 		if iv >= 0 {
 			q.StallIntervals = append(q.StallIntervals, iv)
 		}
+	}
+	// Interval indices are bounded above by the slot count (Γ ≥ 1), so T
+	// is a safe clip for the interval-coordinate units too.
+	for _, k := range p.ConnKills {
+		if k.Sensor < 0 || k.Sensor >= numSensors || k.Interval < 0 || k.Interval >= T {
+			continue
+		}
+		q.ConnKills = append(q.ConnKills, k)
+	}
+	for _, w := range p.Partitions {
+		if w.To < w.From {
+			w.From, w.To = w.To, w.From
+		}
+		if w.From >= T || w.To < 0 {
+			continue
+		}
+		if w.From < 0 {
+			w.From = 0
+		}
+		if w.To >= T {
+			w.To = T - 1
+		}
+		var keep []int
+		for _, s := range w.Sensors {
+			if s >= 0 && s < numSensors {
+				keep = append(keep, s)
+			}
+		}
+		if len(w.Sensors) > 0 && len(keep) == 0 {
+			continue // every named sensor was bogus; drop, don't widen to "all"
+		}
+		w.Sensors = keep
+		q.Partitions = append(q.Partitions, w)
 	}
 	return q
 }
@@ -275,6 +361,7 @@ type Injector struct {
 	stalls   map[int]bool // forced intervals
 	crashes  map[int][]Crash
 	deficits map[int][]Shortfall // sorted by slot
+	kills    map[int]map[int]bool
 }
 
 // NewInjector validates the plan and indexes its traces for a tour with
@@ -296,11 +383,30 @@ func NewInjector(p Plan, numSensors, T int) (*Injector, error) {
 			return nil, fmt.Errorf("fault: shortfall at slot %d of %d", s.Slot, T)
 		}
 	}
+	for _, k := range p.ConnKills {
+		if k.Sensor >= numSensors {
+			return nil, fmt.Errorf("fault: conn kill names sensor %d of %d", k.Sensor, numSensors)
+		}
+	}
+	for _, w := range p.Partitions {
+		for _, s := range w.Sensors {
+			if s >= numSensors {
+				return nil, fmt.Errorf("fault: partition names sensor %d of %d", s, numSensors)
+			}
+		}
+	}
 	in := &Injector{
 		plan:     p,
 		stalls:   make(map[int]bool, len(p.StallIntervals)),
 		crashes:  make(map[int][]Crash),
 		deficits: make(map[int][]Shortfall),
+		kills:    make(map[int]map[int]bool, len(p.ConnKills)),
+	}
+	for _, k := range p.ConnKills {
+		if in.kills[k.Interval] == nil {
+			in.kills[k.Interval] = make(map[int]bool)
+		}
+		in.kills[k.Interval][k.Sensor] = true
 	}
 	for _, iv := range p.StallIntervals {
 		in.stalls[iv] = true
@@ -390,6 +496,39 @@ func (in *Injector) Deficit(sensor, uptoSlot int) float64 {
 		total += s.Joules
 	}
 	return total
+}
+
+// ConnKilled reports whether the sensor's transport connection is
+// severed at the given interval's first Probe delivery — scripted via
+// ConnKills or rolled via ConnKillProb. Each (interval, sensor) pair
+// fires at most once per connection: transports consult it only on
+// attempt-0 probes, so a resumed session is not re-killed by the same
+// interval's retransmissions.
+func (in *Injector) ConnKilled(interval, sensor int) bool {
+	if in.kills[interval][sensor] {
+		return true
+	}
+	return in.roll(in.plan.ConnKillProb, KindConnKill, interval, sensor, 0)
+}
+
+// Partitioned reports whether the sensor's protocol traffic is
+// black-holed during the interval (inside any partition window naming
+// it, or any window with an empty sensor list).
+func (in *Injector) Partitioned(interval, sensor int) bool {
+	for _, w := range in.plan.Partitions {
+		if interval < w.From || interval > w.To {
+			continue
+		}
+		if len(w.Sensors) == 0 {
+			return true
+		}
+		for _, s := range w.Sensors {
+			if s == sensor {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Unit exposes the injector's deterministic hash stream: a value in

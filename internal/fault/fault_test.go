@@ -19,6 +19,9 @@ func TestPlanZero(t *testing.T) {
 		{Crashes: []Crash{{Sensor: 0, From: 0, To: 1}}},
 		{Shortfalls: []Shortfall{{Sensor: 0, Slot: 0, Joules: 1}}},
 		{StallIntervals: []int{2}},
+		{ConnKillProb: 0.1},
+		{ConnKills: []ConnKill{{Sensor: 0, Interval: 1}}},
+		{Partitions: []Partition{{From: 0, To: 2}}},
 	} {
 		if p.Zero() {
 			t.Errorf("plan %+v wrongly zero", p)
@@ -40,6 +43,11 @@ func TestPlanValidate(t *testing.T) {
 		{Crashes: []Crash{{Sensor: 0, From: 5, To: 2}}},
 		{Shortfalls: []Shortfall{{Sensor: 0, Slot: 0, Joules: -1}}},
 		{Shortfalls: []Shortfall{{Sensor: -2, Slot: 0, Joules: 1}}},
+		{ConnKillProb: -0.5}, {ConnKillProb: math.NaN()},
+		{ConnKills: []ConnKill{{Sensor: -1, Interval: 0}}},
+		{ConnKills: []ConnKill{{Sensor: 0, Interval: -3}}},
+		{Partitions: []Partition{{From: 5, To: 2}}},
+		{Partitions: []Partition{{From: 0, To: 1, Sensors: []int{-4}}}},
 	}
 	for i, p := range bad {
 		if err := p.Validate(); err == nil {
@@ -216,6 +224,115 @@ func TestNewInjectorRejectsOutOfRange(t *testing.T) {
 	}
 	if _, err := NewInjector(Plan{DropAck: 7}, 3, 10); err == nil {
 		t.Error("invalid probability accepted")
+	}
+	if _, err := NewInjector(Plan{ConnKills: []ConnKill{{Sensor: 9, Interval: 0}}}, 3, 10); err == nil {
+		t.Error("conn-kill sensor out of range accepted")
+	}
+	if _, err := NewInjector(Plan{Partitions: []Partition{{From: 0, To: 1, Sensors: []int{7}}}}, 3, 10); err == nil {
+		t.Error("partition sensor out of range accepted")
+	}
+}
+
+func TestConnKilled(t *testing.T) {
+	p := Plan{Seed: 5, ConnKills: []ConnKill{{Sensor: 1, Interval: 3}}}
+	in, err := NewInjector(p, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.ConnKilled(3, 1) {
+		t.Error("scripted kill did not fire")
+	}
+	for iv := 0; iv < 10; iv++ {
+		for s := 0; s < 4; s++ {
+			if iv == 3 && s == 1 {
+				continue
+			}
+			if in.ConnKilled(iv, s) {
+				t.Errorf("spurious kill at iv=%d s=%d with zero prob", iv, s)
+			}
+		}
+	}
+	// Rolled kills: empirical frequency tracks the probability and the
+	// trace is deterministic per seed.
+	a, _ := NewInjector(Plan{Seed: 8, ConnKillProb: 0.25}, 1, 1)
+	b, _ := NewInjector(Plan{Seed: 8, ConnKillProb: 0.25}, 1, 1)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if a.ConnKilled(i, 0) != b.ConnKilled(i, 0) {
+			t.Fatal("conn-kill rolls nondeterministic")
+		}
+		if a.ConnKilled(i, 0) {
+			hits++
+		}
+	}
+	if got := float64(hits) / n; math.Abs(got-0.25) > 0.02 {
+		t.Errorf("empirical kill rate %v, want ≈0.25", got)
+	}
+}
+
+func TestPartitioned(t *testing.T) {
+	p := Plan{Partitions: []Partition{
+		{From: 2, To: 4, Sensors: []int{1}},
+		{From: 7, To: 7}, // empty sensor list → everyone
+	}}
+	in, err := NewInjector(p, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		iv, s int
+		want  bool
+	}{
+		{1, 1, false}, {2, 1, true}, {4, 1, true}, {5, 1, false},
+		{3, 0, false}, {3, 2, false}, // window names only sensor 1
+		{7, 0, true}, {7, 1, true}, {7, 2, true}, // global window
+		{6, 0, false}, {8, 2, false},
+	} {
+		if got := in.Partitioned(tc.iv, tc.s); got != tc.want {
+			t.Errorf("Partitioned(%d,%d) = %v, want %v", tc.iv, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestSanitizedChurnUnits(t *testing.T) {
+	p := Plan{
+		ConnKillProb: 3,
+		ConnKills: []ConnKill{
+			{Sensor: 0, Interval: 2},  // kept
+			{Sensor: 9, Interval: 0},  // unknown sensor → dropped
+			{Sensor: 1, Interval: -1}, // negative interval → dropped
+			{Sensor: 1, Interval: 50}, // past tour end → dropped
+		},
+		Partitions: []Partition{
+			{From: 4, To: 1, Sensors: []int{0}},       // inverted → swapped → [1,4]
+			{From: 50, To: 60},                        // past tour end → dropped
+			{From: -2, To: 100, Sensors: []int{2, 9}}, // clipped, bogus sensor pruned
+			{From: 0, To: 1, Sensors: []int{77}},      // all sensors bogus → dropped
+		},
+	}
+	q := p.Sanitized(3, 5)
+	if err := q.Validate(); err != nil {
+		t.Fatalf("sanitized plan invalid: %v", err)
+	}
+	if q.ConnKillProb != 1 {
+		t.Errorf("conn_kill_prob = %v", q.ConnKillProb)
+	}
+	if len(q.ConnKills) != 1 || q.ConnKills[0] != (ConnKill{Sensor: 0, Interval: 2}) {
+		t.Errorf("conn kills = %+v", q.ConnKills)
+	}
+	if len(q.Partitions) != 2 {
+		t.Fatalf("partitions = %+v", q.Partitions)
+	}
+	if q.Partitions[0].From != 1 || q.Partitions[0].To != 4 {
+		t.Errorf("window 0 = %+v", q.Partitions[0])
+	}
+	if q.Partitions[1].From != 0 || q.Partitions[1].To != 4 ||
+		len(q.Partitions[1].Sensors) != 1 || q.Partitions[1].Sensors[0] != 2 {
+		t.Errorf("window 1 = %+v", q.Partitions[1])
+	}
+	if _, err := NewInjector(q, 3, 5); err != nil {
+		t.Fatalf("injector on sanitized plan: %v", err)
 	}
 }
 

@@ -108,6 +108,24 @@ type Result struct {
 	Fault *fault.Stats
 }
 
+// NewResult builds the empty tour ledger for an instance: a fresh
+// allocation, full energy budgets, and full data caps. Both the
+// simulated runner and the wire transport's sink start from it, so
+// their ledgers agree bit-for-bit before the first interval.
+func NewResult(inst *core.Instance) *Result {
+	res := &Result{
+		Alloc:        inst.NewAllocation(),
+		RegisteredIn: make([][]int, len(inst.Sensors)),
+		Residual:     make([]float64, len(inst.Sensors)),
+		ResidualData: make([]float64, len(inst.Sensors)),
+	}
+	for i := range inst.Sensors {
+		res.Residual[i] = inst.Sensors[i].Budget
+		res.ResidualData[i] = inst.DataCapOf(i)
+	}
+	return res
+}
+
 // CheckLemma1 verifies each sensor registered in at most two consecutive
 // intervals (paper Lemma 1).
 func (r *Result) CheckLemma1() error {
@@ -198,16 +216,7 @@ func RunCtx(ctx context.Context, inst *core.Instance, sched Scheduler, opts Opti
 		}
 	}
 	eng := sim.NewEngine()
-	res := &Result{
-		Alloc:        inst.NewAllocation(),
-		RegisteredIn: make([][]int, len(inst.Sensors)),
-		Residual:     make([]float64, len(inst.Sensors)),
-		ResidualData: make([]float64, len(inst.Sensors)),
-	}
-	for i := range inst.Sensors {
-		res.Residual[i] = inst.Sensors[i].Budget
-		res.ResidualData[i] = inst.DataCapOf(i)
-	}
+	res := NewResult(inst)
 
 	gamma := inst.Gamma
 	intervals := (inst.T + gamma - 1) / gamma

@@ -14,7 +14,10 @@ type ChaosConfig struct {
 	// Plan supplies the drop probabilities and the deterministic seed.
 	// The proxy applies the message-level drops (Probe, register-Ack,
 	// Schedule, repair, Finish) with exactly the same keyed Bernoulli
-	// rolls as the in-process injector; crash and stall faults stay where
+	// rolls as the in-process injector, plus the connection-level churn
+	// units: ConnKillProb/ConnKills sever a sensor's TCP connection at
+	// first-probe delivery, and Partitions black-hole a sensor's protocol
+	// traffic for a window of intervals. Crash and stall faults stay where
 	// they belong (sensor endpoints and the sink's scheduler).
 	Plan fault.Plan
 	// MaxDelay, when positive, delays each forwarded frame by a
@@ -34,22 +37,32 @@ type ChaosStats struct {
 	DroppedFinishes  int64
 	Delayed          int64
 	Reordered        int64
+	// ConnKills counts proxied connections severed by the conn-kill units.
+	ConnKills int64
+	// PartitionDrops counts frames black-holed inside partition windows.
+	PartitionDrops int64
 }
 
 // Dropped returns the total frames discarded.
 func (s ChaosStats) Dropped() int64 {
-	return s.DroppedProbes + s.DroppedAcks + s.DroppedSchedules + s.DroppedRepairs + s.DroppedFinishes
+	return s.DroppedProbes + s.DroppedAcks + s.DroppedSchedules + s.DroppedRepairs +
+		s.DroppedFinishes + s.PartitionDrops
 }
 
 // ChaosProxy sits between sensor clients and a Sink, forwarding frames
 // while injecting the fault plan as real network behavior: dropped
 // frames simply never arrive, so the endpoints' recovery machinery —
 // retransmission windows, confirm-based silence detection, stale-budget
-// clamps — is exercised by actual message loss rather than simulated
-// flags. Direction matters: Probe/Schedule/Finish drops apply sink →
-// sensor, register-Ack drops apply sensor → sink, and declines,
-// confirms, and Hellos always pass (losing those models transport
-// failure, not the paper's lossy broadcast channel).
+// clamps, session resumption — is exercised by actual message loss and
+// connection churn rather than simulated flags. Direction matters:
+// Probe/Schedule/Finish drops apply sink → sensor, register-Ack drops
+// apply sensor → sink, and declines, confirms, and the session handshake
+// (Hello, Resume, Sync) always pass — black-holing a handshake would
+// wedge a reconnecting client rather than model loss. Conn kills fire on
+// delivery of an interval's first probe (attempt 0 only, so a resumed
+// connection is not re-killed by the retransmit of the same probe).
+// Partition windows require a Recovery-mode sink: the idealized protocol
+// waits forever for the partitioned sensor's answer.
 type ChaosProxy struct {
 	cfg ChaosConfig
 	inj *fault.Injector
@@ -69,6 +82,8 @@ type ChaosProxy struct {
 		droppedFinishes  atomic.Int64
 		delayed          atomic.Int64
 		reordered        atomic.Int64
+		connKills        atomic.Int64
+		partitionDrops   atomic.Int64
 	}
 }
 
@@ -104,6 +119,8 @@ func (p *ChaosProxy) Stats() ChaosStats {
 		DroppedFinishes:  p.stats.droppedFinishes.Load(),
 		Delayed:          p.stats.delayed.Load(),
 		Reordered:        p.stats.reordered.Load(),
+		ConnKills:        p.stats.connKills.Load(),
+		PartitionDrops:   p.stats.partitionDrops.Load(),
 	}
 }
 
@@ -160,29 +177,57 @@ func (p *ChaosProxy) relay(clientRaw net.Conn) {
 	}
 	client, sink := NewConn(clientRaw), NewConn(sinkRaw)
 	// The sensor index arrives in the client's Hello; both pumps key
-	// their rolls on it.
-	var sensorID atomic.Int64
+	// their rolls on it. The current interval arrives in the sink's
+	// probes; frames without their own interval (heartbeats) borrow it
+	// for the partition check.
+	var sensorID, curInterval atomic.Int64
 	sensorID.Store(-1)
+	curInterval.Store(-1)
+	var killOnce sync.Once
+	kill := func() {
+		killOnce.Do(func() {
+			p.stats.connKills.Add(1)
+			clientRaw.Close()
+			sinkRaw.Close()
+		})
+	}
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() { // sensor → sink
 		defer wg.Done()
-		p.pump(client, sink, &sensorID, 1, p.dropToSink)
+		p.pump(client, sink, &sensorID, &curInterval, 1, p.dropToSink, nil)
 		sink.Close()
 	}()
 	go func() { // sink → sensor
 		defer wg.Done()
-		p.pump(sink, client, &sensorID, 0, p.dropToClient)
+		p.pump(sink, client, &sensorID, &curInterval, 0, p.dropToClient, kill)
 		client.Close()
 	}()
 	wg.Wait()
 }
 
-// pump forwards frames from src to dst, applying the drop rule, the
-// deterministic delay, and the adjacent-swap reorder. dir keys the
-// delay/reorder rolls (0 sink→sensor, 1 sensor→sink) so the two
+// frameInterval extracts a frame's own interval index, falling back to
+// the relay's last-probed interval for frames that carry none.
+func frameInterval(m Msg, cur int64) int {
+	switch m := m.(type) {
+	case *Probe:
+		return m.Interval
+	case *Ack:
+		return m.Interval
+	case *Schedule:
+		return m.Interval
+	case *Finish:
+		return m.Interval
+	}
+	return int(cur)
+}
+
+// pump forwards frames from src to dst, applying the connection-kill
+// rule (sink→sensor only, nil kill otherwise), the partition rule, the
+// drop rule, the deterministic delay, and the adjacent-swap reorder. dir
+// keys the delay/reorder rolls (0 sink→sensor, 1 sensor→sink) so the two
 // directions draw independent streams.
-func (p *ChaosProxy) pump(src, dst *Conn, sensorID *atomic.Int64, dir int, drop func(Msg, int) bool) {
+func (p *ChaosProxy) pump(src, dst *Conn, sensorID, curInterval *atomic.Int64, dir int, drop func(Msg, int) bool, kill func()) {
 	var held Msg
 	seq := 0
 	forward := func(m Msg) bool { return dst.WriteMsg(m) == nil }
@@ -194,7 +239,8 @@ func (p *ChaosProxy) pump(src, dst *Conn, sensorID *atomic.Int64, dir int, drop 
 			}
 			return
 		}
-		if h, ok := m.(*Hello); ok {
+		switch h := m.(type) {
+		case *Hello:
 			if h.Role == RoleSensor {
 				sensorID.Store(int64(h.Sensor))
 			}
@@ -202,9 +248,28 @@ func (p *ChaosProxy) pump(src, dst *Conn, sensorID *atomic.Int64, dir int, drop 
 				return
 			}
 			continue
+		case *Resume, *Sync:
+			if !forward(m) { // session resumption traffic always passes
+				return
+			}
+			continue
 		}
 		seq++
 		id := int(sensorID.Load())
+		if pr, ok := m.(*Probe); ok {
+			curInterval.Store(int64(pr.Interval))
+			if kill != nil && pr.Attempt == 0 && id >= 0 && p.inj.ConnKilled(pr.Interval, id) {
+				// The connection dies with the probe in flight: neither the
+				// probe nor anything after it is delivered.
+				kill()
+				return
+			}
+		}
+		if id >= 0 && p.inj.Partitioned(frameInterval(m, curInterval.Load()), id) {
+			p.stats.partitionDrops.Add(1)
+			framesDropped.With(m.Type().String()).Inc()
+			continue
+		}
 		if drop(m, id) {
 			framesDropped.With(m.Type().String()).Inc()
 			continue

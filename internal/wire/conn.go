@@ -5,30 +5,66 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
+
+// ConnOptions configures a Conn's liveness behavior. The zero value is
+// the pre-v2 behavior: no deadlines, reads and writes block forever.
+type ConnOptions struct {
+	// ReadTimeout bounds each ReadMsg call; a peer that goes silent for
+	// longer surfaces a net.Error timeout instead of blocking forever.
+	// When heartbeats are enabled on the peer, set this to at least 3×
+	// the heartbeat period so a healthy idle peer is never cut.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each WriteMsg call (a peer that stops draining
+	// its socket otherwise wedges the writer once buffers fill).
+	WriteTimeout time.Duration
+}
 
 // Conn frames protocol messages over a net.Conn. Reads are buffered;
 // writes are serialized by a mutex and land as a single Write per frame
 // so concurrent writers (the sink's broadcast path vs. a repair unicast)
 // never interleave bytes. A Conn tracks the frames-sent/received
-// counters per message type.
+// counters per message type, and — when ConnOptions set timeouts —
+// applies per-operation deadlines so a dead peer is detected in bounded
+// time instead of never.
 type Conn struct {
 	raw net.Conn
 	br  *bufio.Reader
+	opt ConnOptions
 
 	wmu  sync.Mutex
 	wbuf []byte
 
 	rbuf []byte
+
+	// lastWrite is the UnixNano of the last successful frame write; the
+	// heartbeat loop consults it to write keepalives only when idle.
+	lastWrite atomic.Int64
+
+	hbStop chan struct{}
+	hbOnce sync.Once
 }
 
-// NewConn wraps a transport connection.
-func NewConn(c net.Conn) *Conn {
-	return &Conn{raw: c, br: bufio.NewReader(c)}
+// NewConn wraps a transport connection with no deadlines (the pre-v2
+// behavior, used by the idealized loopback paths).
+func NewConn(c net.Conn) *Conn { return NewConnOpts(c, ConnOptions{}) }
+
+// NewConnOpts wraps a transport connection with the given liveness
+// options.
+func NewConnOpts(c net.Conn, opt ConnOptions) *Conn {
+	cn := &Conn{raw: c, br: bufio.NewReader(c), opt: opt}
+	cn.lastWrite.Store(time.Now().UnixNano())
+	return cn
 }
 
-// Close closes the underlying connection.
-func (c *Conn) Close() error { return c.raw.Close() }
+// Close stops the heartbeat loop (if running) and closes the underlying
+// connection.
+func (c *Conn) Close() error {
+	c.stopHeartbeat()
+	return c.raw.Close()
+}
 
 // RemoteAddr reports the peer address.
 func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
@@ -42,17 +78,29 @@ func (c *Conn) WriteMsg(m Msg) error {
 		return err
 	}
 	c.wbuf = buf
+	if c.opt.WriteTimeout > 0 {
+		if err := c.raw.SetWriteDeadline(time.Now().Add(c.opt.WriteTimeout)); err != nil {
+			return err
+		}
+	}
 	if _, err := c.raw.Write(buf); err != nil {
 		return err
 	}
+	c.lastWrite.Store(time.Now().UnixNano())
 	framesSent.With(m.Type().String()).Inc()
 	return nil
 }
 
 // ReadMsg reads and decodes the next message. The returned message does
 // not alias the read buffer. Decode failures increment the decode-error
-// counter; transport errors (EOF, closed conn) pass through untouched.
+// counter; transport errors (EOF, closed conn, deadline timeouts) pass
+// through untouched — test timeouts with net.Error's Timeout.
 func (c *Conn) ReadMsg() (Msg, error) {
+	if c.opt.ReadTimeout > 0 {
+		if err := c.raw.SetReadDeadline(time.Now().Add(c.opt.ReadTimeout)); err != nil {
+			return nil, err
+		}
+	}
 	payload, err := ReadFrame(c.br, c.rbuf)
 	if err != nil {
 		return nil, err
@@ -67,41 +115,85 @@ func (c *Conn) ReadMsg() (Msg, error) {
 	return m, nil
 }
 
-// ClientHandshake sends the sensor's Hello and validates the sink's.
-func (c *Conn) ClientHandshake(sensor int) error {
-	if err := c.WriteMsg(&Hello{Version: Version, Role: RoleSensor, Sensor: sensor}); err != nil {
+// StartHeartbeat launches a keepalive loop that writes a Heartbeat frame
+// whenever the write side has been idle for one period, so an otherwise
+// silent but healthy peer keeps resetting the other end's read deadline.
+// The returned stop function is idempotent; Close also stops the loop.
+func (c *Conn) StartHeartbeat(every time.Duration) (stop func()) {
+	if every <= 0 {
+		return func() {}
+	}
+	c.hbStop = make(chan struct{})
+	done := c.hbStop
+	go func() {
+		t := time.NewTicker(every / 2)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				idle := time.Since(time.Unix(0, c.lastWrite.Load()))
+				if idle < every {
+					continue
+				}
+				if err := c.WriteMsg(&Heartbeat{}); err != nil {
+					return // conn dead; the read side surfaces the error
+				}
+			}
+		}
+	}()
+	return c.stopHeartbeat
+}
+
+func (c *Conn) stopHeartbeat() {
+	if c.hbStop == nil {
+		return
+	}
+	c.hbOnce.Do(func() { close(c.hbStop) })
+}
+
+// ClientHandshake sends the sensor's Hello — carrying its session token
+// (0 = none) and last committed interval (-1 = none) — and validates the
+// sink's answering Hello.
+func (c *Conn) ClientHandshake(sensor int, token uint64, lastInterval int) error {
+	h := &Hello{
+		Version: Version, Role: RoleSensor, Sensor: sensor,
+		Token: token, LastInterval: lastInterval,
+	}
+	if err := c.WriteMsg(h); err != nil {
 		return err
 	}
 	m, err := c.ReadMsg()
 	if err != nil {
 		return err
 	}
-	h, ok := m.(*Hello)
+	r, ok := m.(*Hello)
 	if !ok {
 		return fmt.Errorf("%w: want hello, got %s", ErrBadField, m.Type())
 	}
-	if h.Role != RoleSink {
+	if r.Role != RoleSink {
 		return fmt.Errorf("%w: peer is not a sink", ErrBadField)
 	}
 	return nil
 }
 
 // ServerHandshake reads the sensor's Hello, answers with the sink's, and
-// returns the sensor index.
-func (c *Conn) ServerHandshake() (int, error) {
+// returns the sensor's Hello (index, session token, last interval).
+func (c *Conn) ServerHandshake() (*Hello, error) {
 	m, err := c.ReadMsg()
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	h, ok := m.(*Hello)
 	if !ok {
-		return 0, fmt.Errorf("%w: want hello, got %s", ErrBadField, m.Type())
+		return nil, fmt.Errorf("%w: want hello, got %s", ErrBadField, m.Type())
 	}
 	if h.Role != RoleSensor || h.Sensor < 0 {
-		return 0, fmt.Errorf("%w: peer is not a sensor (role %d, id %d)", ErrBadField, h.Role, h.Sensor)
+		return nil, fmt.Errorf("%w: peer is not a sensor (role %d, id %d)", ErrBadField, h.Role, h.Sensor)
 	}
-	if err := c.WriteMsg(&Hello{Version: Version, Role: RoleSink, Sensor: -1}); err != nil {
-		return 0, err
+	if err := c.WriteMsg(&Hello{Version: Version, Role: RoleSink, Sensor: -1, LastInterval: -1}); err != nil {
+		return nil, err
 	}
-	return h.Sensor, nil
+	return h, nil
 }

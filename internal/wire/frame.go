@@ -38,8 +38,9 @@ import (
 )
 
 // Version is the protocol version carried by the Hello handshake. A sink
-// and sensor with different versions refuse to talk.
-const Version = 1
+// and sensor with different versions refuse to talk. Version 2 added
+// session resumption (Hello token fields, Resume/Sync) and Heartbeat.
+const Version = 2
 
 // magic opens every Hello payload; it guards against a non-protocol peer
 // (or a desynchronized stream) being interpreted as a handshake.
@@ -72,6 +73,14 @@ const (
 	TypeAck
 	TypeSchedule
 	TypeFinish
+	// TypeResume and TypeSync are the session-resumption handshake: after
+	// Hello the sensor states its residual claim (Resume), the sink
+	// answers with the authoritative session state (Sync).
+	TypeResume
+	TypeSync
+	// TypeHeartbeat is the idle keepalive; it carries no fields and is
+	// consumed by the connection layer, never surfaced to the protocol.
+	TypeHeartbeat
 )
 
 // String returns the lowercase tag name (metric label values).
@@ -87,6 +96,12 @@ func (t Type) String() string {
 		return "schedule"
 	case TypeFinish:
 		return "finish"
+	case TypeResume:
+		return "resume"
+	case TypeSync:
+		return "sync"
+	case TypeHeartbeat:
+		return "heartbeat"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
@@ -108,15 +123,64 @@ type Msg interface {
 
 // Hello is the version handshake, the first frame in each direction on a
 // new connection. Sensor is the dense sensor index for RoleSensor and -1
-// for RoleSink.
+// for RoleSink. Token is the sensor's session token from a previous
+// connection (0 = none, request a fresh session) and LastInterval the
+// last interval whose Finish it committed (-1 = none); the sink answers
+// the subsequent Resume with a Sync carrying the authoritative state.
 type Hello struct {
-	Version uint8
-	Role    Role
-	Sensor  int
+	Version      uint8
+	Role         Role
+	Sensor       int
+	Token        uint64
+	LastInterval int
 }
 
 // Type implements Msg.
 func (*Hello) Type() Type { return TypeHello }
+
+// Resume is the sensor's session-resumption claim, sent right after
+// Hello: the token it is resuming (0 for a fresh session) and its local
+// view of its ledger — last committed interval, residual energy budget,
+// and residual data. The sink reconciles the claim against its session
+// table and answers with a Sync.
+type Resume struct {
+	Token        uint64
+	LastInterval int
+	Budget       float64
+	DataLeft     float64 // +Inf on instances without data caps
+}
+
+// Type implements Msg.
+func (*Resume) Type() Type { return TypeResume }
+
+// Sync is the sink's authoritative answer to a Resume. Resumed reports
+// whether an existing session was found (false = fresh session issued);
+// Token is the session token to present on the next reconnect; Interval
+// is the last interval the sink committed for this sensor; Missed
+// counts the intervals the sensor was disconnected for (accounted as
+// declines); Budget and DataLeft are the sink's ledger residuals, which
+// the client adopts (taking the minimum against its local view, so a
+// sensor can never talk itself into budget it no longer has).
+type Sync struct {
+	Resumed  bool
+	Token    uint64
+	Interval int
+	Missed   int
+	Budget   float64
+	DataLeft float64
+}
+
+// Type implements Msg.
+func (*Sync) Type() Type { return TypeSync }
+
+// Heartbeat is the idle keepalive frame. It is written by the
+// connection layer when the write side has been idle for a heartbeat
+// period and consumed by the peer's read loop; the protocol above never
+// sees it.
+type Heartbeat struct{}
+
+// Type implements Msg.
+func (*Heartbeat) Type() Type { return TypeHeartbeat }
 
 // Probe is the sink's registration solicitation for one interval:
 // broadcast at the interval start (Attempt 0) and unicast to stragglers
@@ -221,13 +285,16 @@ func (*Finish) Type() Type { return TypeFinish }
 
 // Fixed payload sizes per tag (bytes, including the tag byte).
 const (
-	helloLen     = 1 + 2 + 1 + 1 + 4
+	helloLen     = 1 + 2 + 1 + 1 + 4 + 8 + 4
 	probeLen     = 1 + 4 + 1 + 4 + 4 + 8 + 8
 	ackBaseLen   = 1 + 1 + 4 + 1 + 4
 	ackRegLen    = ackBaseLen + 8 + 8 + 4 + 4
 	schedHeadLen = 1 + 4 + 1 + 2
 	assignLen    = 4 + 4
 	finishLen    = 1 + 4
+	resumeLen    = 1 + 8 + 4 + 8 + 8
+	syncLen      = 1 + 1 + 8 + 4 + 4 + 8 + 8
+	heartbeatLen = 1
 )
 
 // MaxSchedulePairs is the largest slot→sensor pair count one Schedule
@@ -273,13 +340,16 @@ func AppendFrame(dst []byte, m Msg) ([]byte, error) {
 func appendPayload(dst []byte, m Msg) ([]byte, error) {
 	switch m := m.(type) {
 	case *Hello:
-		if m.Role > RoleSensor || m.Sensor < -1 || !fitsI32(m.Sensor) {
-			return nil, fmt.Errorf("%w: hello role %d sensor %d", ErrBadField, m.Role, m.Sensor)
+		if m.Role > RoleSensor || m.Sensor < -1 || !fitsI32(m.Sensor, m.LastInterval) ||
+			m.LastInterval < -1 {
+			return nil, fmt.Errorf("%w: hello role %d sensor %d last %d", ErrBadField, m.Role, m.Sensor, m.LastInterval)
 		}
 		dst = append(dst, byte(TypeHello))
 		dst = appendU16(dst, magic)
 		dst = append(dst, m.Version, byte(m.Role))
-		return appendI32(dst, int32(m.Sensor)), nil
+		dst = appendI32(dst, int32(m.Sensor))
+		dst = binary.BigEndian.AppendUint64(dst, m.Token)
+		return appendI32(dst, int32(m.LastInterval)), nil
 	case *Probe:
 		if m.Interval < 0 || m.Attempt < 0 || m.Attempt > 255 ||
 			m.Start < 0 || m.End < m.Start || !fitsI32(m.Interval, m.Start, m.End) {
@@ -338,6 +408,37 @@ func appendPayload(dst []byte, m Msg) ([]byte, error) {
 		}
 		dst = append(dst, byte(TypeFinish))
 		return appendI32(dst, int32(m.Interval)), nil
+	case *Resume:
+		if m.LastInterval < -1 || !fitsI32(m.LastInterval) ||
+			math.IsNaN(m.Budget) || m.Budget < 0 || math.IsInf(m.Budget, 0) ||
+			math.IsNaN(m.DataLeft) || m.DataLeft < 0 {
+			return nil, fmt.Errorf("%w: resume last %d budget %v data %v", ErrBadField, m.LastInterval, m.Budget, m.DataLeft)
+		}
+		dst = append(dst, byte(TypeResume))
+		dst = binary.BigEndian.AppendUint64(dst, m.Token)
+		dst = appendI32(dst, int32(m.LastInterval))
+		dst = appendF64(dst, m.Budget)
+		return appendF64(dst, m.DataLeft), nil
+	case *Sync:
+		if m.Token == 0 || m.Interval < -1 || m.Missed < 0 ||
+			!fitsI32(m.Interval, m.Missed) ||
+			math.IsNaN(m.Budget) || m.Budget < 0 || math.IsInf(m.Budget, 0) ||
+			math.IsNaN(m.DataLeft) || m.DataLeft < 0 {
+			return nil, fmt.Errorf("%w: sync token %d interval %d missed %d budget %v", ErrBadField, m.Token, m.Interval, m.Missed, m.Budget)
+		}
+		dst = append(dst, byte(TypeSync))
+		if m.Resumed {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = binary.BigEndian.AppendUint64(dst, m.Token)
+		dst = appendI32(dst, int32(m.Interval))
+		dst = appendI32(dst, int32(m.Missed))
+		dst = appendF64(dst, m.Budget)
+		return appendF64(dst, m.DataLeft), nil
+	case *Heartbeat:
+		return append(dst, byte(TypeHeartbeat)), nil
 	}
 	return nil, fmt.Errorf("%w: %T", ErrUnknownType, m)
 }
@@ -357,12 +458,15 @@ func Decode(p []byte) (Msg, error) {
 		if binary.BigEndian.Uint16(p[1:]) != magic {
 			return nil, fmt.Errorf("%w: 0x%04x", ErrBadMagic, binary.BigEndian.Uint16(p[1:]))
 		}
-		h := &Hello{Version: p[3], Role: Role(p[4]), Sensor: int(getI32(p[5:]))}
+		h := &Hello{
+			Version: p[3], Role: Role(p[4]), Sensor: int(getI32(p[5:])),
+			Token: binary.BigEndian.Uint64(p[9:]), LastInterval: int(getI32(p[17:])),
+		}
 		if h.Version != Version {
 			return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, h.Version, Version)
 		}
-		if h.Role > RoleSensor || h.Sensor < -1 {
-			return nil, fmt.Errorf("%w: hello role %d sensor %d", ErrBadField, h.Role, h.Sensor)
+		if h.Role > RoleSensor || h.Sensor < -1 || h.LastInterval < -1 {
+			return nil, fmt.Errorf("%w: hello role %d sensor %d last %d", ErrBadField, h.Role, h.Sensor, h.LastInterval)
 		}
 		return h, nil
 	case TypeProbe:
@@ -447,6 +551,46 @@ func Decode(p []byte) (Msg, error) {
 			return nil, fmt.Errorf("%w: finish interval %d", ErrBadField, m.Interval)
 		}
 		return m, nil
+	case TypeResume:
+		if err := exactLen(p, resumeLen); err != nil {
+			return nil, err
+		}
+		m := &Resume{
+			Token: binary.BigEndian.Uint64(p[1:]), LastInterval: int(getI32(p[9:])),
+			Budget: getF64(p[13:]), DataLeft: getF64(p[21:]),
+		}
+		if m.LastInterval < -1 ||
+			math.IsNaN(m.Budget) || m.Budget < 0 || math.IsInf(m.Budget, 0) ||
+			math.IsNaN(m.DataLeft) || m.DataLeft < 0 {
+			return nil, fmt.Errorf("%w: resume last %d budget %v data %v", ErrBadField, m.LastInterval, m.Budget, m.DataLeft)
+		}
+		return m, nil
+	case TypeSync:
+		if err := exactLen(p, syncLen); err != nil {
+			return nil, err
+		}
+		m := &Sync{
+			Token: binary.BigEndian.Uint64(p[2:]), Interval: int(getI32(p[10:])),
+			Missed: int(getI32(p[14:])), Budget: getF64(p[18:]), DataLeft: getF64(p[26:]),
+		}
+		switch p[1] {
+		case 0:
+		case 1:
+			m.Resumed = true
+		default:
+			return nil, fmt.Errorf("%w: sync resumed byte %d", ErrBadField, p[1])
+		}
+		if m.Token == 0 || m.Interval < -1 || m.Missed < 0 ||
+			math.IsNaN(m.Budget) || m.Budget < 0 || math.IsInf(m.Budget, 0) ||
+			math.IsNaN(m.DataLeft) || m.DataLeft < 0 {
+			return nil, fmt.Errorf("%w: sync token %d interval %d missed %d budget %v", ErrBadField, m.Token, m.Interval, m.Missed, m.Budget)
+		}
+		return m, nil
+	case TypeHeartbeat:
+		if err := exactLen(p, heartbeatLen); err != nil {
+			return nil, err
+		}
+		return &Heartbeat{}, nil
 	}
 	return nil, fmt.Errorf("%w: tag %d", ErrUnknownType, p[0])
 }

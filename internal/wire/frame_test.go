@@ -44,6 +44,15 @@ func TestRoundTrip(t *testing.T) {
 		&Schedule{Interval: 4, Repair: true, Pairs: []Assign{{61, 2}}},
 		&Schedule{Interval: 5},
 		&Finish{Interval: 3},
+		&Hello{Version: Version, Role: RoleSensor, Sensor: 7,
+			Token: 0xDEADBEEF12345678, LastInterval: 5},
+		&Hello{Version: Version, Role: RoleSink, Sensor: -1, LastInterval: -1},
+		&Resume{Token: 0, LastInterval: -1, Budget: 1.5, DataLeft: math.Inf(1)},
+		&Resume{Token: 99, LastInterval: 4, Budget: 0, DataLeft: 0.03125},
+		&Sync{Resumed: true, Token: 3, Interval: 6, Missed: 2,
+			Budget: 0.25, DataLeft: math.Inf(1)},
+		&Sync{Token: 1, Interval: -1},
+		&Heartbeat{},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -122,6 +131,28 @@ func TestDecodeStrict(t *testing.T) {
 			p[5] = 2
 			return p
 		}(), ErrBadField},
+		{"hello last interval below -1", func() []byte {
+			p := append([]byte{}, hello...)
+			binary.BigEndian.PutUint32(p[17:], 0xFFFFFFFE) // -2
+			return p
+		}(), ErrBadField},
+		{"truncated resume", func() []byte {
+			p := valid(&Resume{Token: 1, LastInterval: 0, Budget: 1, DataLeft: 1})
+			return p[:len(p)-4]
+		}(), ErrTruncated},
+		{"bad sync resumed byte", func() []byte {
+			p := valid(&Sync{Resumed: true, Token: 1, Interval: 0, Budget: 1, DataLeft: 1})
+			p[1] = 2
+			return p
+		}(), ErrBadField},
+		{"sync token zero", func() []byte {
+			p := valid(&Sync{Token: 1, Interval: 0})
+			for i := 2; i < 10; i++ {
+				p[i] = 0
+			}
+			return p
+		}(), ErrBadField},
+		{"trailing heartbeat", append(valid(&Heartbeat{}), 0), ErrTrailing},
 	}
 	for _, tc := range cases {
 		if _, err := Decode(tc.payload); !errors.Is(err, tc.want) {
@@ -143,6 +174,15 @@ func TestEncodeRejectsBadFields(t *testing.T) {
 		&Schedule{Interval: 0, Pairs: make([]Assign, MaxSchedulePairs+1)},
 		&Finish{Interval: -2},
 		&Hello{Version: Version, Role: 3},
+		&Hello{Version: Version, Role: RoleSensor, Sensor: 1, LastInterval: -2},
+		&Resume{LastInterval: -2},
+		&Resume{Budget: math.Inf(1)},
+		&Resume{Budget: math.NaN()},
+		&Resume{DataLeft: -1},
+		&Sync{Token: 0, Interval: 0},
+		&Sync{Token: 1, Interval: -2},
+		&Sync{Token: 1, Missed: -1},
+		&Sync{Token: 1, Budget: math.NaN()},
 	}
 	for _, m := range bad {
 		if _, err := AppendFrame(nil, m); !errors.Is(err, ErrBadField) {

@@ -29,6 +29,12 @@ func FuzzFrameDecode(f *testing.F) {
 	seed(&Schedule{Interval: 2, Pairs: []Assign{{32, 5}, {33, 6}}})
 	seed(&Schedule{Interval: 2, Repair: true, Pairs: []Assign{{40, 1}}})
 	seed(&Finish{Interval: 2})
+	seed(&Hello{Version: Version, Role: RoleSensor, Sensor: 17,
+		Token: 0xABCDEF0123456789, LastInterval: 3})
+	seed(&Resume{Token: 42, LastInterval: 3, Budget: 0.5, DataLeft: math.Inf(1)})
+	seed(&Sync{Resumed: true, Token: 42, Interval: 4, Missed: 1,
+		Budget: 0.25, DataLeft: 1024})
+	seed(&Heartbeat{})
 	// Hostile shapes: truncations, unknown tags, version skew, junk.
 	f.Add([]byte{})
 	f.Add([]byte{byte(TypeProbe)})

@@ -27,4 +27,16 @@ var (
 	intervalCompute = metrics.Default().Histogram(
 		"wire_interval_compute_seconds",
 		"Scheduler compute time per interval on the sink server.", nil)
+	sessionsResumed = metrics.Default().Counter(
+		"wire_sessions_resumed_total",
+		"Sensor sessions successfully resumed after a reconnect.")
+	reconnects = metrics.Default().Counter(
+		"wire_reconnects_total",
+		"Sensor client redial attempts that reached a completed handshake.")
+	heartbeatTimeouts = metrics.Default().Counter(
+		"wire_heartbeat_timeouts_total",
+		"Connections dropped after a read deadline expired with no frame.")
+	recoverySeconds = metrics.Default().Histogram(
+		"wire_recovery_seconds",
+		"Journal replay to first-probe latency on sink restart.", nil)
 )

@@ -2,8 +2,10 @@ package wire
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"net"
 	"sort"
@@ -13,7 +15,14 @@ import (
 	"mobisink/internal/core"
 	"mobisink/internal/fault"
 	"mobisink/internal/online"
+	"mobisink/internal/wal"
 )
+
+// ErrHalted is returned by RunTour when SinkConfig.HaltAfter stopped the
+// tour early (the crash-restart demo's simulated crash point). The
+// journal holds every committed interval; a new Sink on the same WAL
+// resumes at the first uncommitted one.
+var ErrHalted = errors.New("wire: tour halted by HaltAfter")
 
 // Recovery enables the sink server's self-healing machinery, the wire
 // counterpart of online.Options.Faults: bounded probe retransmission,
@@ -53,12 +62,41 @@ type SinkConfig struct {
 	Scheduler online.Scheduler
 	// Addr is the TCP listen address; default "127.0.0.1:0".
 	Addr string
-	// Sensors is the client count WaitSensors waits for; default
+	// Sensors is the distinct-sensor count WaitSensors waits for; default
 	// len(Inst.Sensors).
 	Sensors int
 	// Recovery enables the self-healing protocol; nil runs the idealized
 	// lossless exchange.
 	Recovery *Recovery
+	// WALPath, when non-empty, journals every interval commit to an
+	// append-only log (internal/wal). If the file already holds a journal
+	// for this instance, NewSink replays it — restoring the allocation,
+	// registrations, and residual ledger bit-for-bit — and RunTour
+	// resumes at the first uncommitted interval.
+	WALPath string
+	// SessionTTL is how long a disconnected sensor's session (and its
+	// resumption rights) survives. Default 1 minute.
+	SessionTTL time.Duration
+	// Conn sets per-operation I/O deadlines on every accepted
+	// connection. The zero value keeps the idealized timer-free behavior;
+	// set ReadTimeout to at least 3× the sensors' heartbeat period.
+	Conn ConnOptions
+	// Heartbeat, when positive, makes the sink write idle keepalives on
+	// each connection so sensors with read deadlines see traffic between
+	// intervals.
+	Heartbeat time.Duration
+	// HaltAfter, when positive, stops RunTour with ErrHalted after that
+	// many intervals have committed in this process (crash-restart demo).
+	HaltAfter int
+}
+
+// session is one sensor's resumption state: the token that authorizes a
+// reconnect to pick the session back up, the conn that owns it (nil
+// while disconnected), and when it disconnected (TTL anchor).
+type session struct {
+	token    uint64
+	owner    *Conn
+	lastGone time.Time
 }
 
 // inbound is one decoded message attributed to its sensor; a nil msg
@@ -72,23 +110,43 @@ type inbound struct {
 // connections and drives the tour's interval loop over them — probe
 // broadcast, registration window, scheduler, schedule/finish broadcast —
 // debiting budgets through the same commit path as the in-process
-// runner.
+// runner. Sensors that disconnect mid-tour may resume their session
+// (Resume/Sync handshake) within the session TTL; with a WAL configured
+// the sink itself may die and a successor resume the tour from the
+// journal.
 type Sink struct {
 	cfg      SinkConfig
 	rec      *Recovery
 	degraded online.Scheduler
+	ttl      time.Duration
 	ln       net.Listener
 	inbox    chan inbound
 	done     chan struct{}
 
-	mu     sync.Mutex
-	conns  map[int]*Conn
-	joined int
-	closed bool
+	// res is the tour ledger, created (or WAL-replayed) by NewSink.
+	// RunTour's goroutine owns all writes; the session handshake reads
+	// Residual/ResidualData/committedIv under lmu.
+	res *online.Result
+	lmu sync.Mutex
+	// committedIv is the last interval whose commit is final (-1 none).
+	committedIv int
+
+	log          *wal.Log
+	resumeFrom   int
+	tourDone     bool
+	recoverStart time.Time
+
+	mu        sync.Mutex
+	conns     map[int]*Conn
+	sessions  map[int]*session
+	nextToken uint64
+	joinedIDs map[int]bool
+	closed    bool
 }
 
-// NewSink validates the configuration, binds the listener, and starts
-// accepting sensor connections. Callers must Close it.
+// NewSink validates the configuration, opens and replays the journal
+// (when configured), binds the listener, and starts accepting sensor
+// connections. Callers must Close it.
 func NewSink(cfg SinkConfig) (*Sink, error) {
 	if cfg.Inst == nil {
 		return nil, errors.New("wire: nil instance")
@@ -108,12 +166,20 @@ func NewSink(cfg SinkConfig) (*Sink, error) {
 	if cfg.Sensors == 0 {
 		cfg.Sensors = len(cfg.Inst.Sensors)
 	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = time.Minute
+	}
 	s := &Sink{
-		cfg:   cfg,
-		rec:   cfg.Recovery,
-		inbox: make(chan inbound, max(256, 16*cfg.Sensors)),
-		done:  make(chan struct{}),
-		conns: make(map[int]*Conn),
+		cfg:         cfg,
+		rec:         cfg.Recovery,
+		ttl:         cfg.SessionTTL,
+		inbox:       make(chan inbound, max(256, 16*cfg.Sensors)),
+		done:        make(chan struct{}),
+		conns:       make(map[int]*Conn),
+		sessions:    make(map[int]*session),
+		joinedIDs:   make(map[int]bool),
+		res:         online.NewResult(cfg.Inst),
+		committedIv: -1,
 	}
 	if s.rec != nil {
 		if s.rec.RegWindow <= 0 {
@@ -137,8 +203,16 @@ func NewSink(cfg SinkConfig) (*Sink, error) {
 			return nil, fmt.Errorf("wire: degraded scheduler %s does not handle data-capped instances", s.degraded.Name())
 		}
 	}
+	if cfg.WALPath != "" {
+		if err := s.openJournal(cfg.WALPath); err != nil {
+			return nil, err
+		}
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
+		if s.log != nil {
+			s.log.Close()
+		}
 		return nil, err
 	}
 	s.ln = ln
@@ -146,10 +220,149 @@ func NewSink(cfg SinkConfig) (*Sink, error) {
 	return s, nil
 }
 
+// openJournal opens (or creates) the WAL, verifies it belongs to this
+// instance, and replays every committed interval into the ledger.
+func (s *Sink) openJournal(path string) error {
+	log, recs, err := wal.Open(path)
+	if err != nil {
+		return err
+	}
+	fp := instanceFingerprint(s.cfg.Inst)
+	inst := s.cfg.Inst
+	if len(recs) == 0 {
+		if err := log.Append(wal.Begin{
+			Sensors: len(inst.Sensors), T: inst.T, Gamma: inst.Gamma, Fingerprint: fp,
+		}); err != nil {
+			log.Close()
+			return err
+		}
+		s.log = log
+		return nil
+	}
+	s.recoverStart = time.Now()
+	b, ok := recs[0].(wal.Begin)
+	if !ok {
+		log.Close()
+		return errors.New("wire: journal does not start with a Begin record")
+	}
+	if b.Sensors != len(inst.Sensors) || b.T != inst.T || b.Gamma != inst.Gamma || b.Fingerprint != fp {
+		log.Close()
+		return fmt.Errorf("wire: journal written for a different instance (fingerprint %x, want %x)", b.Fingerprint, fp)
+	}
+	for _, r := range recs[1:] {
+		switch r := r.(type) {
+		case wal.Commit:
+			if s.tourDone {
+				log.Close()
+				return errors.New("wire: journal has a Commit after End")
+			}
+			if err := s.applyCommit(r); err != nil {
+				log.Close()
+				return err
+			}
+		case wal.End:
+			s.tourDone = true
+		default:
+			log.Close()
+			return fmt.Errorf("wire: unexpected journal record kind %d", r.Kind())
+		}
+	}
+	// Re-validate the replayed state before trusting it: the partial
+	// allocation must be feasible and Lemma 1 must hold.
+	inst.RecomputeData(s.res.Alloc)
+	if _, err := inst.Validate(s.res.Alloc); err != nil {
+		log.Close()
+		return fmt.Errorf("wire: journal replays to infeasible allocation: %w", err)
+	}
+	if err := s.res.CheckLemma1(); err != nil {
+		log.Close()
+		return fmt.Errorf("wire: journal replays to Lemma 1 violation: %w", err)
+	}
+	s.resumeFrom = s.committedIv + 1
+	s.log = log
+	return nil
+}
+
+// applyCommit replays one committed interval into the ledger: the
+// registrations, the slot owners, and the stored debits — the exact
+// clamped subtraction the live commit performed, so residuals are
+// bit-identical to the pre-crash process.
+func (s *Sink) applyCommit(c wal.Commit) error {
+	inst := s.cfg.Inst
+	if c.Interval != s.committedIv+1 {
+		return fmt.Errorf("wire: journal commits interval %d after %d", c.Interval, s.committedIv)
+	}
+	res := s.res
+	for _, id := range c.Registered {
+		if id >= len(inst.Sensors) {
+			return fmt.Errorf("wire: journal registers unknown sensor %d", id)
+		}
+		res.RegisteredIn[id] = append(res.RegisteredIn[id], c.Interval)
+	}
+	for _, p := range c.Pairs {
+		if p.Slot >= inst.T || p.Sensor >= len(inst.Sensors) {
+			return fmt.Errorf("wire: journal assigns slot %d to sensor %d out of range", p.Slot, p.Sensor)
+		}
+		if res.Alloc.SlotOwner[p.Slot] != -1 {
+			return fmt.Errorf("wire: journal double-books slot %d", p.Slot)
+		}
+		res.Alloc.SlotOwner[p.Slot] = p.Sensor
+	}
+	for _, d := range c.Debits {
+		if d.Sensor >= len(inst.Sensors) {
+			return fmt.Errorf("wire: journal debits unknown sensor %d", d.Sensor)
+		}
+		res.Residual[d.Sensor] = math.Max(0, res.Residual[d.Sensor]-d.Energy)
+		if !math.IsInf(res.ResidualData[d.Sensor], 1) {
+			res.ResidualData[d.Sensor] = math.Max(0, res.ResidualData[d.Sensor]-d.Data)
+		}
+	}
+	// Reconstruct the message counters the live run would have tallied.
+	// Retransmission and repair-unicast counts are not journaled (they
+	// are transport effort, not tour state) and restart at zero.
+	res.Messages.Probes++
+	if len(c.Registered) > 0 {
+		res.Messages.Acks += len(c.Registered)
+		res.Messages.Schedules++
+		res.Messages.Finishes++
+	}
+	s.committedIv = c.Interval
+	return nil
+}
+
+// instanceFingerprint folds the tour-defining parameters — shape, slot
+// length, radio range, and every sensor's budget, window, position, and
+// data cap — into one hash, so a journal cannot be replayed against a
+// different deployment.
+func instanceFingerprint(inst *core.Instance) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.BigEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	put(uint64(inst.T))
+	put(uint64(inst.Gamma))
+	put(math.Float64bits(inst.Tau))
+	put(math.Float64bits(inst.Range))
+	for i := range inst.Sensors {
+		sn := &inst.Sensors[i]
+		put(uint64(sn.ID))
+		put(math.Float64bits(sn.Budget))
+		put(uint64(int64(sn.Start)))
+		put(uint64(int64(sn.End)))
+		put(math.Float64bits(sn.Pos.X))
+		put(math.Float64bits(sn.Pos.Y))
+		put(math.Float64bits(inst.DataCapOf(i)))
+	}
+	return h.Sum64()
+}
+
 // Addr returns the bound listen address ("127.0.0.1:port").
 func (s *Sink) Addr() string { return s.ln.Addr().String() }
 
-// Close tears down the listener and all sensor connections.
+// Close tears down the listener, all sensor connections, and the
+// journal.
 func (s *Sink) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -167,6 +380,9 @@ func (s *Sink) Close() error {
 	for _, c := range conns {
 		c.Close()
 	}
+	if s.log != nil {
+		s.log.Close()
+	}
 	return err
 }
 
@@ -176,32 +392,73 @@ func (s *Sink) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		go s.handle(NewConn(raw))
+		go s.handle(NewConnOpts(raw, s.cfg.Conn))
 	}
 }
 
+// handle runs one connection: Hello, then the Resume/Sync session
+// handshake, then the protocol read loop feeding the inbox. The conn
+// only joins the broadcast set after its Sync is on the wire, so a
+// resuming sensor never sees interval traffic before its session state.
 func (s *Sink) handle(c *Conn) {
-	id, err := c.ServerHandshake()
+	hello, err := c.ServerHandshake()
 	if err != nil {
 		c.Close()
 		return
 	}
+	id := hello.Sensor
+	if id >= len(s.cfg.Inst.Sensors) {
+		c.Close()
+		return
+	}
+	m, err := c.ReadMsg()
+	if err != nil {
+		c.Close()
+		return
+	}
+	rs, ok := m.(*Resume)
+	if !ok || rs.Token != hello.Token {
+		c.Close()
+		return
+	}
+	sync, old := s.attach(id, c, rs)
+	if sync == nil { // sink closed
+		c.Close()
+		return
+	}
+	if old != nil {
+		old.Close() // kick the stale connection owning this session
+	}
+	if err := c.WriteMsg(sync); err != nil {
+		s.detachSession(id, c)
+		c.Close()
+		return
+	}
 	s.mu.Lock()
-	if s.closed || id >= len(s.cfg.Inst.Sensors) || s.conns[id] != nil {
+	if s.closed {
 		s.mu.Unlock()
+		s.detachSession(id, c)
 		c.Close()
 		return
 	}
 	s.conns[id] = c
-	s.joined++
+	s.joinedIDs[id] = true
 	s.mu.Unlock()
 	openConns.Inc()
+	var stopHB func()
+	if s.cfg.Heartbeat > 0 {
+		stopHB = c.StartHeartbeat(s.cfg.Heartbeat)
+	}
 	defer func() {
+		if stopHB != nil {
+			stopHB()
+		}
 		s.mu.Lock()
 		if s.conns[id] == c {
 			delete(s.conns, id)
 		}
 		s.mu.Unlock()
+		s.detachSession(id, c)
 		openConns.Dec()
 		c.Close()
 		select {
@@ -212,7 +469,14 @@ func (s *Sink) handle(c *Conn) {
 	for {
 		m, err := c.ReadMsg()
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				heartbeatTimeouts.Inc()
+			}
 			return
+		}
+		if _, ok := m.(*Heartbeat); ok {
+			continue // liveness traffic, not protocol
 		}
 		select {
 		case s.inbox <- inbound{sensor: id, msg: m}:
@@ -222,14 +486,74 @@ func (s *Sink) handle(c *Conn) {
 	}
 }
 
-// WaitSensors blocks until the configured number of sensors has
+// attach reconciles a Resume claim against the session table and builds
+// the answering Sync. It returns the stale conn to kick when the session
+// was still nominally owned, and nil Sync when the sink is closed.
+func (s *Sink) attach(id int, c *Conn, rs *Resume) (*Sync, *Conn) {
+	now := time.Now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil
+	}
+	sess := s.sessions[id]
+	resumed := sess != nil && rs.Token != 0 && sess.token == rs.Token &&
+		(sess.owner != nil || now.Sub(sess.lastGone) <= s.ttl)
+	var old *Conn
+	if sess != nil && sess.owner != nil {
+		old = sess.owner
+		if s.conns[id] == old {
+			delete(s.conns, id)
+		}
+	}
+	if !resumed {
+		s.nextToken++
+		sess = &session{token: s.nextToken}
+		s.sessions[id] = sess
+	}
+	sess.owner = c
+	sess.lastGone = time.Time{}
+	token := sess.token
+	s.mu.Unlock()
+
+	s.lmu.Lock()
+	committed := s.committedIv
+	budget := s.res.Residual[id]
+	dataLeft := s.res.ResidualData[id]
+	s.lmu.Unlock()
+
+	missed := 0
+	if resumed && committed > rs.LastInterval {
+		missed = committed - rs.LastInterval
+	}
+	if resumed {
+		sessionsResumed.Inc()
+	}
+	return &Sync{
+		Resumed: resumed, Token: token, Interval: committed,
+		Missed: missed, Budget: budget, DataLeft: dataLeft,
+	}, old
+}
+
+// detachSession marks the session disconnected iff c still owns it (a
+// newer conn may have taken it over).
+func (s *Sink) detachSession(id int, c *Conn) {
+	s.mu.Lock()
+	if sess := s.sessions[id]; sess != nil && sess.owner == c {
+		sess.owner = nil
+		sess.lastGone = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// WaitSensors blocks until the configured number of distinct sensors has
 // completed the handshake (or the context expires).
 func (s *Sink) WaitSensors(ctx context.Context) error {
 	tick := time.NewTicker(2 * time.Millisecond)
 	defer tick.Stop()
 	for {
 		s.mu.Lock()
-		n := s.joined
+		n := len(s.joinedIDs)
 		s.mu.Unlock()
 		if n >= s.cfg.Sensors {
 			return nil
@@ -242,19 +566,69 @@ func (s *Sink) WaitSensors(ctx context.Context) error {
 	}
 }
 
-// snapshot returns the live connections keyed by sensor index.
-func (s *Sink) snapshot() map[int]*Conn {
+// connOf returns the sensor's current connection (nil while down). The
+// broadcast and repair paths look connections up live rather than from a
+// per-interval snapshot, so a sensor that resumed mid-interval is
+// reachable the moment its Sync is written.
+func (s *Sink) connOf(id int) *Conn {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make(map[int]*Conn, len(s.conns))
-	for id, c := range s.conns {
-		out[id] = c
-	}
-	return out
+	return s.conns[id]
 }
 
-// dropConn discards a connection whose write failed; its sensor is
-// treated as departed for the rest of the tour.
+// liveIDs returns the connected sensor indices, ascending.
+func (s *Sink) liveIDs() []int {
+	s.mu.Lock()
+	ids := make([]int, 0, len(s.conns))
+	for id := range s.conns {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Ints(ids)
+	return ids
+}
+
+// sessionAlive reports whether the sensor holds a resumable session: it
+// is connected, or disconnected for less than the TTL and so may
+// reconnect mid-interval.
+func (s *Sink) sessionAlive(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessions[id]
+	if sess == nil {
+		return false
+	}
+	return sess.owner != nil || time.Since(sess.lastGone) <= s.ttl
+}
+
+// reachableIDs returns the sensors the recovery-mode registration phase
+// should solicit: everyone connected plus everyone whose session is
+// still within its TTL — a sensor whose connection just died may resume
+// before the registration window closes, and writing it off immediately
+// would let a fast tour outrun every reconnect.
+func (s *Sink) reachableIDs() []int {
+	now := time.Now()
+	s.mu.Lock()
+	set := make(map[int]bool, len(s.conns))
+	for id := range s.conns {
+		set[id] = true
+	}
+	for id, sess := range s.sessions {
+		if sess.owner != nil || now.Sub(sess.lastGone) <= s.ttl {
+			set[id] = true
+		}
+	}
+	s.mu.Unlock()
+	ids := make([]int, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// dropConn discards a connection whose write failed; its sensor may
+// still resume its session from a fresh connection.
 func (s *Sink) dropConn(id int, c *Conn) {
 	s.mu.Lock()
 	if s.conns[id] == c {
@@ -271,19 +645,12 @@ func (s *Sink) dropConn(id int, c *Conn) {
 // tallies the sink-observable recoveries (retransmission rounds, budget
 // clamps, missed schedules, repairs, lost slots, degraded intervals);
 // network-side drop counts live in the chaos layer, which the sink
-// cannot observe.
+// cannot observe. With a WAL configured the tour starts at the first
+// uncommitted interval — on a fresh journal that is interval 0; on a
+// replayed one it is wherever the previous process died.
 func (s *Sink) RunTour(ctx context.Context) (*online.Result, error) {
 	inst := s.cfg.Inst
-	res := &online.Result{
-		Alloc:        inst.NewAllocation(),
-		RegisteredIn: make([][]int, len(inst.Sensors)),
-		Residual:     make([]float64, len(inst.Sensors)),
-		ResidualData: make([]float64, len(inst.Sensors)),
-	}
-	for i := range inst.Sensors {
-		res.Residual[i] = inst.Sensors[i].Budget
-		res.ResidualData[i] = inst.DataCapOf(i)
-	}
+	res := s.res
 	var st *fault.Stats
 	if s.rec != nil {
 		st = &fault.Stats{}
@@ -292,7 +659,12 @@ func (s *Sink) RunTour(ctx context.Context) (*online.Result, error) {
 	gamma := inst.Gamma
 	intervals := (inst.T + gamma - 1) / gamma
 	res.Intervals = intervals
-	for j := 0; j < intervals; j++ {
+	if !s.recoverStart.IsZero() {
+		recoverySeconds.Observe(time.Since(s.recoverStart).Seconds())
+		s.recoverStart = time.Time{}
+	}
+	ran := 0
+	for j := s.resumeFrom; j < intervals && !s.tourDone; j++ {
 		start := j * gamma
 		end := start + gamma - 1
 		if end >= inst.T {
@@ -301,6 +673,15 @@ func (s *Sink) RunTour(ctx context.Context) (*online.Result, error) {
 		iv := online.Interval{Index: j, Start: start, End: end}
 		if err := s.runInterval(ctx, iv, res, st); err != nil {
 			return nil, fmt.Errorf("wire: interval %d: %w", j, err)
+		}
+		ran++
+		if s.cfg.HaltAfter > 0 && ran >= s.cfg.HaltAfter && j+1 < intervals {
+			return res, ErrHalted
+		}
+	}
+	if s.log != nil && !s.tourDone {
+		if err := s.log.Append(wal.End{}); err != nil {
+			return nil, fmt.Errorf("wire: journal end: %w", err)
 		}
 	}
 	inst.RecomputeData(res.Alloc)
@@ -312,15 +693,15 @@ func (s *Sink) RunTour(ctx context.Context) (*online.Result, error) {
 }
 
 // runInterval executes one probe → ack → schedule → finish cycle over
-// the wire.
+// the wire, journaling the commit before the Finish broadcast so a
+// crash between the two cannot lose a debit the sensors performed.
 func (s *Sink) runInterval(ctx context.Context, iv online.Interval, res *online.Result, st *fault.Stats) error {
 	inst := s.cfg.Inst
 	sinkPos := inst.Traj.PosAtSlotStart(iv.Start)
 	probe := &Probe{Interval: iv.Index, Start: iv.Start, End: iv.End, SinkX: sinkPos.X, SinkY: sinkPos.Y}
-	conns := s.snapshot()
 
 	probeAt := time.Now()
-	registered, err := s.registration(ctx, iv, probe, conns, res, st)
+	registered, err := s.registration(ctx, iv, probe, res, st)
 	if err != nil {
 		return err
 	}
@@ -351,7 +732,9 @@ func (s *Sink) runInterval(ctx context.Context, iv online.Interval, res *online.
 		regs = append(regs, r)
 	}
 	if len(regs) == 0 {
-		return nil // nobody answered; the sink idles this interval
+		// Nobody answered; the sink idles this interval. The empty commit
+		// still journals so a restarted sink resumes past it.
+		return s.commitInterval(iv.Index, nil, nil, nil, nil)
 	}
 
 	computeAt := time.Now()
@@ -368,39 +751,84 @@ func (s *Sink) runInterval(ctx context.Context, iv online.Interval, res *online.
 		pairs = append(pairs, Assign{Slot: slot, Sensor: sensor})
 	}
 	sort.Slice(pairs, func(a, b int) bool { return pairs[a].Slot < pairs[b].Slot })
-	s.broadcast(&Schedule{Interval: iv.Index, Pairs: pairs}, ids, conns)
+	s.broadcast(&Schedule{Interval: iv.Index, Pairs: pairs}, ids)
 	res.Messages.Schedules++
 
+	var committed []wal.Assign
+	spend := make(map[int]float64)
+	dataSpend := make(map[int]float64)
 	if s.rec == nil {
-		if err := online.ApplyAssignment(inst, iv, regs, assign, res); err != nil {
+		s.lmu.Lock()
+		err := online.ApplyAssignment(inst, iv, regs, assign, res)
+		s.lmu.Unlock()
+		if err != nil {
 			return err
+		}
+		// Mirror ApplyAssignment's commit exactly — ascending slot order,
+		// identical accumulation — so the journaled debits reproduce the
+		// live residuals bit-for-bit on replay.
+		for _, p := range pairs {
+			spend[p.Sensor] += inst.Sensors[p.Sensor].PowerAt(p.Slot) * inst.Tau
+			dataSpend[p.Sensor] += inst.Sensors[p.Sensor].RateAt(p.Slot) * inst.Tau
+			committed = append(committed, wal.Assign{Slot: p.Slot, Sensor: p.Sensor})
 		}
 	} else {
 		confirmed := s.collectConfirms(ctx, iv, assign)
-		if err := s.commitRecover(iv, regs, assign, confirmed, conns, res, st); err != nil {
+		s.lmu.Lock()
+		committed, err = s.commitRecover(iv, regs, assign, confirmed, res, st, spend, dataSpend)
+		s.lmu.Unlock()
+		if err != nil {
 			return err
 		}
+	}
+	if err := s.commitInterval(iv.Index, ids, committed, spend, dataSpend); err != nil {
+		return err
 	}
 
 	// Finish broadcast: the registered sensors debit their budgets on
 	// receipt; TCP ordering delivers it before the next interval's Probe,
 	// so every later registration claim reflects the debit.
-	s.broadcast(&Finish{Interval: iv.Index}, ids, conns)
+	s.broadcast(&Finish{Interval: iv.Index}, ids)
 	res.Messages.Finishes++
 	return nil
 }
 
-// broadcast writes one frame to each listed sensor, discarding
-// connections whose transport has failed.
-func (s *Sink) broadcast(m Msg, ids []int, conns map[int]*Conn) {
+// commitInterval journals the sealed interval (when a WAL is configured)
+// and advances the committed-interval watermark the session handshake
+// reports to resuming sensors.
+func (s *Sink) commitInterval(interval int, ids []int, pairs []wal.Assign, spend, dataSpend map[int]float64) error {
+	if s.log != nil {
+		rec := wal.Commit{Interval: interval, Registered: ids, Pairs: pairs}
+		sensors := make([]int, 0, len(spend))
+		for sensor := range spend {
+			sensors = append(sensors, sensor)
+		}
+		sort.Ints(sensors)
+		for _, sensor := range sensors {
+			rec.Debits = append(rec.Debits, wal.Debit{
+				Sensor: sensor, Energy: spend[sensor], Data: dataSpend[sensor],
+			})
+		}
+		if err := s.log.Append(rec); err != nil {
+			return fmt.Errorf("journal commit: %w", err)
+		}
+	}
+	s.lmu.Lock()
+	s.committedIv = interval
+	s.lmu.Unlock()
+	return nil
+}
+
+// broadcast writes one frame to each listed sensor over its current
+// connection, discarding connections whose transport has failed.
+func (s *Sink) broadcast(m Msg, ids []int) {
 	for _, id := range ids {
-		c := conns[id]
+		c := s.connOf(id)
 		if c == nil {
 			continue
 		}
 		if err := c.WriteMsg(m); err != nil {
 			s.dropConn(id, c)
-			delete(conns, id)
 		}
 	}
 }
@@ -411,21 +839,29 @@ func (s *Sink) broadcast(m Msg, ids []int, conns map[int]*Conn) {
 // decline), so the window closes exactly when all answers are in — no
 // timers, no drops, and Ack counts that match the in-process run. With
 // Recovery set it runs timed windows with up to MaxRetries retransmit
-// rounds unicast to the sensors still silent.
-func (s *Sink) registration(ctx context.Context, iv online.Interval, probe *Probe, conns map[int]*Conn, res *online.Result, st *fault.Stats) (map[int]online.Registration, error) {
-	all := make([]int, 0, len(conns))
-	for id := range conns {
-		all = append(all, id)
+// rounds unicast to the sensors still silent; a sensor that loses its
+// connection mid-window and resumes its session before the next round is
+// re-probed like any other straggler.
+func (s *Sink) registration(ctx context.Context, iv online.Interval, probe *Probe, res *online.Result, st *fault.Stats) (map[int]online.Registration, error) {
+	all := s.liveIDs()
+	if s.rec != nil {
+		// Recovery mode also waits (bounded by the windows) for sensors
+		// whose connection died but whose session is inside its TTL: they
+		// may resume before the window closes and answer a retransmit.
+		all = s.reachableIDs()
 	}
-	sort.Ints(all)
-	s.broadcast(probe, all, conns)
+	s.broadcast(probe, all)
 	res.Messages.Probes++
 
 	registered := make(map[int]online.Registration)
 	answered := make(map[int]bool)
 	handle := func(in inbound) {
-		if in.msg == nil { // connection closed: the sensor is gone
-			answered[in.sensor] = true
+		if in.msg == nil { // connection closed
+			if s.rec == nil {
+				// Idealized mode has no retransmissions to catch a late
+				// rejoin; the sensor is gone for this interval.
+				answered[in.sensor] = true
+			}
 			return
 		}
 		ack, ok := in.msg.(*Ack)
@@ -444,7 +880,10 @@ func (s *Sink) registration(ctx context.Context, iv online.Interval, probe *Prob
 	outstanding := func() []int {
 		var out []int
 		for _, id := range all {
-			if !answered[id] && conns[id] != nil {
+			if answered[id] {
+				continue
+			}
+			if s.connOf(id) != nil || (s.rec != nil && s.sessionAlive(id)) {
 				out = append(out, id)
 			}
 		}
@@ -473,7 +912,7 @@ func (s *Sink) registration(ctx context.Context, iv online.Interval, probe *Prob
 			// but tallied as one round like the in-process recovery).
 			rp := *probe
 			rp.Attempt = attempt
-			s.broadcast(&rp, pending, conns)
+			s.broadcast(&rp, pending)
 			res.Messages.Retransmits++
 			st.ProbeRetransmissions++
 		}
@@ -558,8 +997,10 @@ func (s *Sink) collectConfirms(ctx context.Context, iv online.Interval, assign m
 // best-rate eligible replacement via unicast Schedule updates. Repairs
 // commit optimistically: the sink cannot observe a dropped repair
 // unicast, and any resulting ledger divergence is healed by the budget
-// clamp at the sensor's next registration.
-func (s *Sink) commitRecover(iv online.Interval, regs []online.Registration, assign map[int]int, confirmed map[int]bool, conns map[int]*Conn, res *online.Result, st *fault.Stats) error {
+// clamp at the sensor's next registration. It returns the committed
+// (slot, sensor) pairs in ascending slot order and fills spend/dataSpend
+// with the per-sensor debits, for the journal.
+func (s *Sink) commitRecover(iv online.Interval, regs []online.Registration, assign map[int]int, confirmed map[int]bool, res *online.Result, st *fault.Stats, spend, dataSpend map[int]float64) ([]wal.Assign, error) {
 	inst := s.cfg.Inst
 	regOf := make(map[int]*online.Registration, len(regs))
 	for k := range regs {
@@ -569,13 +1010,13 @@ func (s *Sink) commitRecover(iv online.Interval, regs []online.Registration, ass
 	for slot, sensor := range assign {
 		r, ok := regOf[sensor]
 		if !ok {
-			return fmt.Errorf("scheduler assigned slot %d to unregistered sensor %d", slot, sensor)
+			return nil, fmt.Errorf("scheduler assigned slot %d to unregistered sensor %d", slot, sensor)
 		}
 		if slot < r.ClipStart || slot > r.ClipEnd {
-			return fmt.Errorf("slot %d outside clipped window [%d,%d] of sensor %d", slot, r.ClipStart, r.ClipEnd, sensor)
+			return nil, fmt.Errorf("slot %d outside clipped window [%d,%d] of sensor %d", slot, r.ClipStart, r.ClipEnd, sensor)
 		}
 		if res.Alloc.SlotOwner[slot] != -1 {
-			return fmt.Errorf("slot %d double-booked", slot)
+			return nil, fmt.Errorf("slot %d double-booked", slot)
 		}
 		slots = append(slots, slot)
 	}
@@ -589,8 +1030,7 @@ func (s *Sink) commitRecover(iv online.Interval, regs []online.Registration, ass
 	}
 	countedDeaf := make(map[int]bool)
 	detected := make(map[int]bool)
-	spend := make(map[int]float64)
-	dataSpend := make(map[int]float64)
+	var committed []wal.Assign
 
 	fits := func(sensor, slot int) bool {
 		r := regOf[sensor]
@@ -605,6 +1045,7 @@ func (s *Sink) commitRecover(iv online.Interval, regs []online.Registration, ass
 		spend[sensor] += inst.Sensors[sensor].PowerAt(slot) * inst.Tau
 		dataSpend[sensor] += inst.Sensors[sensor].RateAt(slot) * inst.Tau
 		res.Alloc.SlotOwner[slot] = sensor
+		committed = append(committed, wal.Assign{Slot: slot, Sensor: sensor})
 	}
 	repair := func(slot, exclude int) {
 		best, bestRate := -1, 0.0
@@ -628,10 +1069,9 @@ func (s *Sink) commitRecover(iv online.Interval, regs []online.Registration, ass
 			st.LostSlots++
 			return
 		}
-		if c := conns[best]; c != nil {
+		if c := s.connOf(best); c != nil {
 			if err := c.WriteMsg(&Schedule{Interval: iv.Index, Repair: true, Pairs: []Assign{{Slot: slot, Sensor: best}}}); err != nil {
 				s.dropConn(best, c)
-				delete(conns, best)
 				st.LostSlots++
 				return
 			}
@@ -678,5 +1118,5 @@ func (s *Sink) commitRecover(iv online.Interval, regs []online.Registration, ass
 			res.ResidualData[sensor] = math.Max(0, res.ResidualData[sensor]-dataSpend[sensor])
 		}
 	}
-	return nil
+	return committed, nil
 }
