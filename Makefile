@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-metrics test-fault test-wire test-recovery test-race vet check bench bench-all bench-compare bench-compare-short cover cover-all experiments examples clean fuzz-wire fuzz-gap fuzz-fleet fuzz-wal
+.PHONY: all build test test-metrics test-fault test-wire test-recovery test-race vet check bench bench-all bench-compare bench-compare-short bench-wire bench-wire-compare cover cover-all experiments examples clean fuzz-wire fuzz-gap fuzz-fleet fuzz-wal
 
 all: build vet test
 
@@ -25,14 +25,14 @@ test: check test-metrics test-fault test-wire test-recovery cover bench-compare-
 	$(GO) test ./...
 
 # Wire-transport gate: formatting and vet on the framing/server/client/
-# chaos-proxy layer, then the whole loopback end-to-end suite (including
-# the byte-parity keystone and the chaos tours) under the race detector.
-# Part of the default `test` target.
+# chaos-proxy/loadgen layer, then the whole loopback end-to-end suite
+# (including the byte-parity keystone and the chaos tours) under the
+# race detector. Part of the default `test` target.
 test-wire:
-	@out=$$(gofmt -l internal/wire cmd/sinkd); if [ -n "$$out" ]; then \
+	@out=$$(gofmt -l internal/wire cmd/sinkd cmd/loadgen); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
-	$(GO) vet ./internal/wire ./cmd/sinkd
-	$(GO) test -race ./internal/wire ./cmd/sinkd
+	$(GO) vet ./internal/wire ./cmd/sinkd ./cmd/loadgen
+	$(GO) test -race ./internal/wire ./cmd/sinkd ./cmd/loadgen
 
 # Recovery gate: formatting and vet on the session/WAL/daemon layer,
 # then the resumption, heartbeat, churn-chaos, and crash-restart suites
@@ -95,9 +95,33 @@ test-race:
 # results captured as BENCH_solvers.json for regression tracking. -count 3
 # repeats each row; benchjson keeps the per-metric minimum, which damps
 # scheduler noise on shared machines.
-bench:
+bench: bench-wire
 	$(GO) test -run '^$$' -bench BenchmarkSolvers -benchmem -count 3 ./internal/solve \
 		| $(GO) run ./cmd/benchjson -o BENCH_solvers.json
+
+# Wire fan-out benchmark campaign: serial vs sharded broadcast at
+# N ∈ {100,1000,5000} plus the end-to-end tour wall clock, captured as
+# BENCH_wire.json. Fixed iteration counts, not -benchtime durations: the
+# sharded hand-off is microseconds per op, so a time-based budget would
+# explode b.N and drown the run in unmeasured background writes. The
+# serial and sharded sub-benchmarks get separate budgets (the serial
+# fan-out is ~3 orders of magnitude slower per op), and -count 10 with
+# benchjson's per-metric minimum tightens the minima enough for the 10%
+# gate to hold on a contended single-core box.
+bench-wire:
+	{ $(GO) test -run '^$$' -bench BenchmarkBroadcast/Serial -benchtime 100x -benchmem -count 10 -timeout 30m ./internal/wire; \
+	  $(GO) test -run '^$$' -bench BenchmarkBroadcast/Sharded -benchtime 2000x -benchmem -count 10 -timeout 30m ./internal/wire; \
+	  $(GO) test -run '^$$' -bench BenchmarkTourWall -benchtime 1x -count 5 -timeout 30m ./internal/wire; } \
+		| $(GO) run ./cmd/benchjson -o BENCH_wire.json
+
+# Perf regression gate for the wire plane: fail on any row regressing
+# more than 10% against the committed BENCH_wire.json; a >10%
+# improvement refreshes the baseline instead.
+bench-wire-compare:
+	{ $(GO) test -run '^$$' -bench BenchmarkBroadcast/Serial -benchtime 100x -benchmem -count 10 -timeout 30m ./internal/wire; \
+	  $(GO) test -run '^$$' -bench BenchmarkBroadcast/Sharded -benchtime 2000x -benchmem -count 10 -timeout 30m ./internal/wire; \
+	  $(GO) test -run '^$$' -bench BenchmarkTourWall -benchtime 1x -count 5 -timeout 30m ./internal/wire; } \
+		| $(GO) run ./cmd/benchjson -compare BENCH_wire.json -threshold 10
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -119,10 +143,10 @@ bench-compare-short:
 # Coverage gate (part of the default `test` target): per-package floors
 # on the solving and protocol packages, committed as the baseline below
 # measured coverage at the time of writing (gap 94.4, knapsack 93.3,
-# online 91.9, wire 83.8, wal 81.8, matching 99.3, core 84.6). Raise the
-# floors when coverage rises.
+# online 91.9, wire 83.8, wal 81.8, matching 99.3, core 84.6, loadgen
+# 77.2). Raise the floors when coverage rises.
 COVER_FLOORS = internal/gap:92 internal/knapsack:91 internal/online:89 internal/wire:81 \
-	internal/wal:78 internal/matching:96 internal/core:81
+	internal/wal:78 internal/matching:96 internal/core:81 cmd/loadgen:70
 
 cover:
 	@fail=0; for spec in $(COVER_FLOORS); do \

@@ -64,6 +64,8 @@ type config struct {
 	sessionTTL time.Duration
 	heartbeat  time.Duration
 	crashDemo  bool
+	fleet      int
+	shards     int
 }
 
 func main() {
@@ -87,7 +89,13 @@ func main() {
 	flag.DurationVar(&cfg.sessionTTL, "session-ttl", time.Minute, "how long a disconnected sensor's session stays resumable")
 	flag.DurationVar(&cfg.heartbeat, "heartbeat", 0, "idle keepalive period; also derives read (3×) and write (1×) deadlines on every connection")
 	flag.BoolVar(&cfg.crashDemo, "crash-demo", false, "demo mode: kill the sink mid-tour and restart it from the journal, then check parity")
+	flag.IntVar(&cfg.fleet, "fleet", 0, "convenience: demo with this many in-process sensors and print the latency percentile snapshot on exit (overrides -n, implies -stats)")
+	flag.IntVar(&cfg.shards, "shards", 0, "broadcast writer shards (0 = default 8, negative = legacy serial write loop)")
 	flag.Parse()
+	if cfg.fleet > 0 {
+		cfg.n = cfg.fleet
+		cfg.stats = true
+	}
 
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sinkd:", err)
@@ -158,6 +166,7 @@ func run(cfg config) error {
 		Inst: inst, Scheduler: sched, Addr: cfg.addr, Recovery: rec,
 		WALPath: walPath, SessionTTL: cfg.sessionTTL,
 		Heartbeat: cfg.heartbeat, Conn: connOpts(cfg.heartbeat),
+		Shards: cfg.shards,
 	}
 	if cfg.crashDemo {
 		intervals := (inst.T + inst.Gamma - 1) / inst.Gamma
@@ -362,4 +371,38 @@ func dumpStats() {
 	for _, k := range keys {
 		fmt.Printf("%s %g\n", k, snap[k])
 	}
+	dumpPercentiles()
+}
+
+// dumpPercentiles prints the wire latency histograms as a p50/p95/p99/
+// p99.9 table — the -fleet mode's exit report.
+func dumpPercentiles() {
+	hists := wire.LatencyHistograms()
+	names := make([]string, 0, len(hists))
+	for name, h := range hists {
+		if h.Count() > 0 {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	fmt.Println("--- latency percentiles ---")
+	fmt.Printf("%-40s %12s %12s %12s %12s\n", "histogram", "p50", "p95", "p99", "p99.9")
+	for _, name := range names {
+		h := hists[name]
+		fmt.Printf("%-40s %12s %12s %12s %12s\n", name,
+			fmtLatency(name, h.Quantile(0.50)), fmtLatency(name, h.Quantile(0.95)),
+			fmtLatency(name, h.Quantile(0.99)), fmtLatency(name, h.Quantile(0.999)))
+	}
+}
+
+// fmtLatency renders one histogram value as a duration, using the
+// metric-name suffix to pick the recorded unit.
+func fmtLatency(name string, v float64) string {
+	if strings.HasSuffix(name, "_seconds") {
+		v *= 1e9
+	}
+	return time.Duration(v).Round(time.Microsecond).String()
 }

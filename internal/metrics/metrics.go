@@ -125,6 +125,40 @@ func (h *Histogram) Count() uint64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket
+// counts, interpolating linearly inside the containing bucket — the
+// standard Prometheus histogram_quantile estimator. Samples that landed
+// in the +Inf bucket are reported as the largest finite bound (a lower
+// bound on the true value). Returns NaN when the histogram is empty or
+// q is NaN. The estimate is read from live atomic counts; concurrent
+// observations may skew it by at most the races' sample count.
+func (h *Histogram) Quantile(q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
+	q = math.Min(1, math.Max(0, q))
+	total := h.Count()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var acc uint64
+	lower := 0.0
+	for i, upper := range h.bounds {
+		c := h.counts[i].Load()
+		if c > 0 && float64(acc)+float64(c) >= rank {
+			frac := (rank - float64(acc)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*(upper-lower)
+		}
+		acc += c
+		lower = upper
+	}
+	return lower
+}
+
 // cumulative returns the per-bound cumulative counts (excluding +Inf).
 func (h *Histogram) cumulative() []uint64 {
 	out := make([]uint64, len(h.bounds))

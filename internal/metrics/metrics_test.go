@@ -68,6 +68,42 @@ func TestHistogramBucketsAndSnapshot(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "quantile fixture", []float64{10, 20, 40})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	// 10 observations in [0,10), 10 in [10,20): the median sits at the
+	// bucket boundary and p75 interpolates halfway into the second.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-10) > 1e-9 {
+		t.Errorf("p50 = %v, want 10", got)
+	}
+	if got := h.Quantile(0.75); math.Abs(got-15) > 1e-9 {
+		t.Errorf("p75 = %v, want 15", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-20) > 1e-9 {
+		t.Errorf("p100 = %v, want 20 (upper edge of last occupied bucket)", got)
+	}
+	// Out-of-range and NaN arguments clamp or propagate, never panic.
+	if got := h.Quantile(-3); got > h.Quantile(0.01) {
+		t.Errorf("q<0 should clamp to the low tail, got %v", got)
+	}
+	if !math.IsNaN(h.Quantile(math.NaN())) {
+		t.Error("NaN quantile should be NaN")
+	}
+	// An observation beyond every bound lands in the +Inf bucket; the
+	// quantile degrades to the highest finite bound rather than +Inf.
+	h.Observe(1e9)
+	if got := h.Quantile(0.9999); math.IsInf(got, 1) {
+		t.Error("quantile in the +Inf bucket should stay finite")
+	}
+}
+
 func TestVecLabels(t *testing.T) {
 	r := NewRegistry()
 	v := r.CounterVec("http_requests_total", "by route/code", "route", "code")

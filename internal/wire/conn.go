@@ -22,10 +22,16 @@ type ConnOptions struct {
 	WriteTimeout time.Duration
 }
 
+// ioScratch pools encode and frame-read scratch buffers shared by every
+// Conn and SensorClient in the process, so a multi-thousand-connection
+// sink amortizes a handful of buffers across the fleet instead of
+// pinning a private write and read buffer per connection.
+var ioScratch = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
 // Conn frames protocol messages over a net.Conn. Reads are buffered;
 // writes are serialized by a mutex and land as a single Write per frame
-// so concurrent writers (the sink's broadcast path vs. a repair unicast)
-// never interleave bytes. A Conn tracks the frames-sent/received
+// so concurrent writers (a shard's queue drainer vs. the heartbeat
+// loop) never interleave bytes. A Conn tracks the frames-sent/received
 // counters per message type, and — when ConnOptions set timeouts —
 // applies per-operation deadlines so a dead peer is detected in bounded
 // time instead of never.
@@ -34,10 +40,7 @@ type Conn struct {
 	br  *bufio.Reader
 	opt ConnOptions
 
-	wmu  sync.Mutex
-	wbuf []byte
-
-	rbuf []byte
+	wmu sync.Mutex
 
 	// lastWrite is the UnixNano of the last successful frame write; the
 	// heartbeat loop consults it to write keepalives only when idle.
@@ -69,15 +72,29 @@ func (c *Conn) Close() error {
 // RemoteAddr reports the peer address.
 func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
 
-// WriteMsg encodes and sends one message.
+// WriteMsg encodes and sends one message. The encode scratch comes from
+// the shared pool; broadcast paths that write the same message to many
+// conns should encode once (EncodeFrame) and use WriteRaw instead.
 func (c *Conn) WriteMsg(m Msg) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	buf, err := AppendFrame(c.wbuf[:0], m)
+	bp := ioScratch.Get().(*[]byte)
+	buf, err := AppendFrame((*bp)[:0], m)
 	if err != nil {
+		ioScratch.Put(bp)
 		return err
 	}
-	c.wbuf = buf
+	*bp = buf
+	err = c.WriteRaw(m.Type(), buf)
+	ioScratch.Put(bp)
+	return err
+}
+
+// WriteRaw sends one pre-encoded frame under the write lock and deadline
+// policy; buf must hold exactly one complete frame of type t. This is
+// the encode-once fan-out path: the sink serializes a broadcast frame a
+// single time and every shard writer hands the same bytes to its conns.
+func (c *Conn) WriteRaw(t Type, buf []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	if c.opt.WriteTimeout > 0 {
 		if err := c.raw.SetWriteDeadline(time.Now().Add(c.opt.WriteTimeout)); err != nil {
 			return err
@@ -87,7 +104,7 @@ func (c *Conn) WriteMsg(m Msg) error {
 		return err
 	}
 	c.lastWrite.Store(time.Now().UnixNano())
-	framesSent.With(m.Type().String()).Inc()
+	countSent(t)
 	return nil
 }
 
@@ -101,17 +118,20 @@ func (c *Conn) ReadMsg() (Msg, error) {
 			return nil, err
 		}
 	}
-	payload, err := ReadFrame(c.br, c.rbuf)
+	bp := ioScratch.Get().(*[]byte)
+	payload, err := ReadFrame(c.br, (*bp)[:0])
 	if err != nil {
+		ioScratch.Put(bp)
 		return nil, err
 	}
-	c.rbuf = payload
-	m, err := Decode(payload)
+	*bp = payload
+	m, err := Decode(payload) // copies everything it keeps
+	ioScratch.Put(bp)
 	if err != nil {
 		decodeErrors.Inc()
 		return nil, err
 	}
-	framesReceived.With(m.Type().String()).Inc()
+	countReceived(m.Type())
 	return m, nil
 }
 

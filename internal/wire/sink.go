@@ -88,6 +88,18 @@ type SinkConfig struct {
 	// HaltAfter, when positive, stops RunTour with ErrHalted after that
 	// many intervals have committed in this process (crash-restart demo).
 	HaltAfter int
+	// Shards sets the writer-shard count of the broadcast plane: live
+	// connections are partitioned id mod Shards, each shard fanning
+	// pre-encoded frames out through per-conn bounded queues so the
+	// interval loop never blocks on a socket write. 0 means the default
+	// (8); values above 64 are clamped; a negative value disables the
+	// sharded plane and restores the legacy in-line serial write loop.
+	Shards int
+	// Queue is the per-connection outbound queue depth on the sharded
+	// plane. A peer that stops draining its socket fills only its own
+	// queue; on overflow the connection is killed through the same drop
+	// path as a write-deadline failure. Default 256.
+	Queue int
 }
 
 // session is one sensor's resumption state: the token that authorizes a
@@ -122,6 +134,8 @@ type Sink struct {
 	ln       net.Listener
 	inbox    chan inbound
 	done     chan struct{}
+	// bc is the sharded write plane (nil in legacy serial mode).
+	bc *broadcaster
 
 	// res is the tour ledger, created (or WAL-replayed) by NewSink.
 	// RunTour's goroutine owns all writes; the session handshake reads
@@ -168,6 +182,15 @@ func NewSink(cfg SinkConfig) (*Sink, error) {
 	}
 	if cfg.SessionTTL <= 0 {
 		cfg.SessionTTL = time.Minute
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 8
+	}
+	if cfg.Shards > 64 {
+		cfg.Shards = 64
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 256
 	}
 	s := &Sink{
 		cfg:         cfg,
@@ -216,6 +239,9 @@ func NewSink(cfg SinkConfig) (*Sink, error) {
 		return nil, err
 	}
 	s.ln = ln
+	if cfg.Shards > 0 {
+		s.bc = newBroadcaster(cfg.Shards, cfg.Queue, s.done, s.dropConn)
+	}
 	go s.acceptLoop()
 	return s, nil
 }
@@ -434,9 +460,18 @@ func (s *Sink) handle(c *Conn) {
 		c.Close()
 		return
 	}
+	// Join the write plane before the conn set: any broadcast that sees
+	// the conn in s.conns must find its shard queue already live.
+	var sc *sconn
+	if s.bc != nil {
+		sc = s.bc.add(id, c)
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		if sc != nil {
+			s.bc.remove(id, sc)
+		}
 		s.detachSession(id, c)
 		c.Close()
 		return
@@ -458,6 +493,9 @@ func (s *Sink) handle(c *Conn) {
 			delete(s.conns, id)
 		}
 		s.mu.Unlock()
+		if sc != nil {
+			s.bc.remove(id, sc)
+		}
 		s.detachSession(id, c)
 		openConns.Dec()
 		c.Close()
@@ -635,6 +673,9 @@ func (s *Sink) dropConn(id int, c *Conn) {
 		delete(s.conns, id)
 	}
 	s.mu.Unlock()
+	if s.bc != nil {
+		s.bc.removeConn(id, c)
+	}
 	c.Close()
 }
 
@@ -677,6 +718,16 @@ func (s *Sink) RunTour(ctx context.Context) (*online.Result, error) {
 		ran++
 		if s.cfg.HaltAfter > 0 && ran >= s.cfg.HaltAfter && j+1 < intervals {
 			return res, ErrHalted
+		}
+	}
+	// Drain the write plane before declaring the tour done, so the final
+	// Finish frames are on the wire before the caller tears the sink
+	// down. A HaltAfter "crash" returns above without flushing — frames
+	// a real crash would lose stay lost, and the Resume/Sync min-residual
+	// adoption heals the divergence bit-exactly.
+	if s.bc != nil {
+		if err := s.bc.Flush(ctx); err != nil {
+			return nil, fmt.Errorf("wire: final flush: %w", err)
 		}
 	}
 	if s.log != nil && !s.tourDone {
@@ -734,7 +785,11 @@ func (s *Sink) runInterval(ctx context.Context, iv online.Interval, res *online.
 	if len(regs) == 0 {
 		// Nobody answered; the sink idles this interval. The empty commit
 		// still journals so a restarted sink resumes past it.
-		return s.commitInterval(iv.Index, nil, nil, nil, nil)
+		if err := s.commitInterval(iv.Index, nil, nil, nil, nil); err != nil {
+			return err
+		}
+		intervalCommitNs.Observe(float64(time.Since(probeAt).Nanoseconds()))
+		return nil
 	}
 
 	computeAt := time.Now()
@@ -784,6 +839,7 @@ func (s *Sink) runInterval(ctx context.Context, iv online.Interval, res *online.
 	if err := s.commitInterval(iv.Index, ids, committed, spend, dataSpend); err != nil {
 		return err
 	}
+	intervalCommitNs.Observe(float64(time.Since(probeAt).Nanoseconds()))
 
 	// Finish broadcast: the registered sensors debit their budgets on
 	// receipt; TCP ordering delivers it before the next interval's Probe,
@@ -819,18 +875,28 @@ func (s *Sink) commitInterval(interval int, ids []int, pairs []wal.Assign, spend
 	return nil
 }
 
-// broadcast writes one frame to each listed sensor over its current
-// connection, discarding connections whose transport has failed.
+// broadcast fans one frame out to the listed sensors. On the sharded
+// plane the frame is encoded once and handed to the writer shards, so
+// the observed fan-out time is the interval loop's stall — delivery
+// proceeds concurrently on the per-shard writers, and a failed conn is
+// discarded by its shard through dropConn. Legacy serial mode (Shards
+// negative) is the original in-line write loop, timed end to end.
 func (s *Sink) broadcast(m Msg, ids []int) {
-	for _, id := range ids {
-		c := s.connOf(id)
-		if c == nil {
-			continue
-		}
-		if err := c.WriteMsg(m); err != nil {
-			s.dropConn(id, c)
+	start := time.Now()
+	if s.bc != nil {
+		_ = s.bc.Broadcast(m, ids)
+	} else {
+		for _, id := range ids {
+			c := s.connOf(id)
+			if c == nil {
+				continue
+			}
+			if err := c.WriteMsg(m); err != nil {
+				s.dropConn(id, c)
+			}
 		}
 	}
+	broadcastFanout.Observe(float64(time.Since(start).Nanoseconds()))
 }
 
 // registration runs the interval's registration phase and returns the
@@ -1069,8 +1135,18 @@ func (s *Sink) commitRecover(iv online.Interval, regs []online.Registration, ass
 			st.LostSlots++
 			return
 		}
-		if c := s.connOf(best); c != nil {
-			if err := c.WriteMsg(&Schedule{Interval: iv.Index, Repair: true, Pairs: []Assign{{Slot: slot, Sensor: best}}}); err != nil {
+		fix := &Schedule{Interval: iv.Index, Repair: true, Pairs: []Assign{{Slot: slot, Sensor: best}}}
+		if s.bc != nil {
+			// Shard-routed unicast: FIFO behind the interval's Schedule
+			// broadcast, so the repair cannot overtake it. Delivery is
+			// asynchronous and optimistic, exactly like a repair whose
+			// frame the network dropped (see the commit rules above).
+			if !s.bc.Unicast(best, fix) {
+				st.LostSlots++
+				return
+			}
+		} else if c := s.connOf(best); c != nil {
+			if err := c.WriteMsg(fix); err != nil {
 				s.dropConn(best, c)
 				st.LostSlots++
 				return
